@@ -1,0 +1,124 @@
+// Package harlbench is the paper-reproduction benchmark harness: one
+// testing.B benchmark per table/figure of the evaluation section. Each
+// benchmark regenerates its figure through internal/experiments and logs
+// the figure's rows, so `go test -bench=. -benchmem` both times the
+// drivers and emits the reproduced series.
+//
+// Under -short (or -test.benchtime with small budgets) the figures run at
+// the reduced QuickOptions scale; the full DefaultOptions scale mirrors
+// the paper's setup at 1/8 file size.
+package harlbench
+
+import (
+	"testing"
+
+	"harl/internal/experiments"
+)
+
+// opts picks the experiment scale from the -short flag.
+func opts() experiments.Options {
+	if testing.Short() {
+		return experiments.QuickOptions()
+	}
+	return experiments.DefaultOptions()
+}
+
+// benchFigure runs one figure driver b.N times and logs its table once.
+func benchFigure(b *testing.B, run func(experiments.Options) (*experiments.Table, error)) {
+	b.Helper()
+	var table *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := run(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		table = t
+	}
+	b.StopTimer()
+	b.Log("\n" + table.String())
+	reportHARLGain(b, table)
+}
+
+// reportHARLGain attaches the HARL-vs-64K-default improvement as custom
+// benchmark metrics when the table has the standard columns.
+func reportHARLGain(b *testing.B, t *experiments.Table) {
+	for _, col := range []string{"read MB/s", "write MB/s", "MB/s"} {
+		var def, harl float64
+		var haveDef, haveHARL bool
+		for _, row := range t.Rows {
+			v, ok := t.Get(row.Label, col)
+			if !ok {
+				continue
+			}
+			if row.Label == "64K" {
+				def, haveDef = v, true
+			}
+			if len(row.Label) >= 4 && row.Label[:4] == "HARL" {
+				harl, haveHARL = v, true
+			}
+		}
+		if haveDef && haveHARL && def > 0 {
+			b.ReportMetric((harl-def)/def*100, "harl_gain_"+metricName(col)+"_%")
+		}
+	}
+}
+
+func metricName(col string) string {
+	switch col {
+	case "read MB/s":
+		return "read"
+	case "write MB/s":
+		return "write"
+	default:
+		return "agg"
+	}
+}
+
+// BenchmarkFig1aServerImbalance regenerates Figure 1(a): per-server I/O
+// time under the default fixed 64 KB layout, the motivation measurement
+// showing HServers ~3.5x busier than SServers.
+func BenchmarkFig1aServerImbalance(b *testing.B) {
+	benchFigure(b, experiments.Fig1a)
+}
+
+// BenchmarkFig1bStripeSweep regenerates Figure 1(b): the request-size x
+// stripe-size throughput grid motivating varied-size striping.
+func BenchmarkFig1bStripeSweep(b *testing.B) {
+	benchFigure(b, experiments.Fig1b)
+}
+
+// BenchmarkFig7Layouts regenerates Figure 7: IOR read/write throughput
+// across fixed, random and HARL layouts (16 procs, 512 KB requests).
+func BenchmarkFig7Layouts(b *testing.B) {
+	benchFigure(b, experiments.Fig7)
+}
+
+// BenchmarkFig8Processes regenerates Figure 8: scalability over 8-256
+// processes.
+func BenchmarkFig8Processes(b *testing.B) {
+	benchFigure(b, experiments.Fig8)
+}
+
+// BenchmarkFig9RequestSizes regenerates Figure 9: 128 KB and 1024 KB
+// request sizes, including the {0 KB, 64 KB} SServer-only optimum.
+func BenchmarkFig9RequestSizes(b *testing.B) {
+	benchFigure(b, experiments.Fig9)
+}
+
+// BenchmarkFig10ServerRatios regenerates Figure 10: HServer:SServer
+// ratios 7:1, 6:2 and 2:6.
+func BenchmarkFig10ServerRatios(b *testing.B) {
+	benchFigure(b, experiments.Fig10)
+}
+
+// BenchmarkFig11NonUniform regenerates Figure 11: the modified
+// four-region IOR workload exercising region-level division.
+func BenchmarkFig11NonUniform(b *testing.B) {
+	benchFigure(b, experiments.Fig11)
+}
+
+// BenchmarkFig12BTIO regenerates Figure 12: BTIO aggregate throughput at
+// 4, 16 and 64 processes (class A at full scale, class W under -short).
+func BenchmarkFig12BTIO(b *testing.B) {
+	benchFigure(b, experiments.Fig12)
+}

@@ -1,0 +1,168 @@
+// Command btiosim runs the BTIO benchmark kernel on the simulated hybrid
+// parallel file system.
+//
+// Usage:
+//
+//	btiosim [-class A] [-ranks 16] [-layout fixed:64K | -layout harl] [-seed 1]
+//
+// The harl layout traces an instrumented first run on the default 64 KB
+// layout, analyzes it, and measures the optimized placement — the full
+// three-phase pipeline of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harl/internal/btio"
+	"harl/internal/cluster"
+	"harl/internal/harl"
+	"harl/internal/layout"
+	"harl/internal/mpiio"
+	"harl/internal/trace"
+)
+
+func main() {
+	class := flag.String("class", "W", "BTIO class: S, W or A")
+	ranks := flag.Int("ranks", 16, "processes (must be a perfect square)")
+	nodes := flag.Int("nodes", 8, "compute nodes")
+	layoutSpec := flag.String("layout", "fixed:64K", "fixed:SIZE | harl")
+	subtype := flag.String("subtype", "full", "I/O subtype: full (collective) or simple (independent)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var cfg btio.Config
+	switch strings.ToUpper(*class) {
+	case "S":
+		cfg = btio.ClassS(*ranks)
+	case "W":
+		cfg = btio.ClassW(*ranks)
+	case "A":
+		cfg = btio.ClassA(*ranks)
+	default:
+		fmt.Fprintf(os.Stderr, "btiosim: unknown class %q\n", *class)
+		os.Exit(2)
+	}
+	cfg.RanksPerNode = *ranks / *nodes
+	if cfg.RanksPerNode < 1 {
+		cfg.RanksPerNode = 1
+	}
+	switch *subtype {
+	case "full":
+		cfg.Subtype = btio.Full
+	case "simple":
+		cfg.Subtype = btio.Simple
+	default:
+		fmt.Fprintf(os.Stderr, "btiosim: unknown subtype %q\n", *subtype)
+		os.Exit(2)
+	}
+	clusterCfg := cluster.Default()
+	clusterCfg.Seed = *seed
+
+	res, label, err := run(clusterCfg, cfg, *layoutSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btiosim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("BTIO class %s (%s subtype), %d procs, layout %s\n", strings.ToUpper(*class), cfg.Subtype, cfg.Ranks, label)
+	fmt.Printf("  snapshots: %d x %.1f MB\n", cfg.Snapshots(), float64(cfg.SnapshotBytes())/(1<<20))
+	fmt.Printf("  write: %8.1f MB/s   read: %8.1f MB/s   aggregate: %8.1f MB/s\n",
+		res.WriteMBs(), res.ReadMBs(), res.AggregateMBs())
+}
+
+func run(clusterCfg cluster.Config, cfg btio.Config, spec string) (btio.Result, string, error) {
+	if strings.HasPrefix(spec, "fixed:") {
+		var sz int64
+		s := strings.TrimSuffix(strings.TrimPrefix(spec, "fixed:"), "K")
+		if _, err := fmt.Sscanf(s, "%d", &sz); err != nil {
+			return btio.Result{}, "", fmt.Errorf("bad layout %q", spec)
+		}
+		sz <<= 10
+		res, err := runFixed(clusterCfg, cfg, sz)
+		return res, fmt.Sprintf("%dK fixed", sz>>10), err
+	}
+	if spec != "harl" {
+		return btio.Result{}, "", fmt.Errorf("unknown layout %q", spec)
+	}
+
+	// Tracing phase on the default layout.
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return btio.Result{}, "", err
+	}
+	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+	col := trace.NewCollector()
+	var traced *mpiio.TracingFile
+	var createErr error
+	w.Run(func() {
+		w.CreatePlain("btio", layout.Fixed(clusterCfg.HServers, clusterCfg.SServers, 64<<10),
+			func(f *mpiio.PlainFile, err error) {
+				if err != nil {
+					createErr = err
+					return
+				}
+				traced = w.Trace(f, col)
+			})
+	})
+	if createErr != nil {
+		return btio.Result{}, "", createErr
+	}
+	tcfg := cfg
+	tcfg.Verify = false
+	if _, err := btio.Run(w, traced, tcfg); err != nil {
+		return btio.Result{}, "", err
+	}
+
+	// Analysis phase.
+	params, err := tb.Calibrate(1000)
+	if err != nil {
+		return btio.Result{}, "", err
+	}
+	plan, err := harl.Planner{Params: params, ChunkSize: maxI64(cfg.TotalBytes()/256, 1<<20)}.Analyze(col.Trace())
+	if err != nil {
+		return btio.Result{}, "", err
+	}
+
+	// Placing phase + measured run.
+	tb2, err := cluster.New(clusterCfg)
+	if err != nil {
+		return btio.Result{}, "", err
+	}
+	w2 := mpiio.NewWorld(tb2.FS, cfg.Ranks, cfg.RanksPerNode)
+	var f *mpiio.HARLFile
+	w2.Run(func() {
+		w2.CreateHARL("btio", &plan.RST, func(file *mpiio.HARLFile, err error) { f, createErr = file, err })
+	})
+	if createErr != nil {
+		return btio.Result{}, "", createErr
+	}
+	res, err := btio.Run(w2, f, cfg)
+	return res, fmt.Sprintf("harl (%d regions)", len(plan.RST.Entries)), err
+}
+
+func runFixed(clusterCfg cluster.Config, cfg btio.Config, stripe int64) (btio.Result, error) {
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return btio.Result{}, err
+	}
+	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+	var f *mpiio.PlainFile
+	var createErr error
+	w.Run(func() {
+		w.CreatePlain("btio", layout.Fixed(clusterCfg.HServers, clusterCfg.SServers, stripe),
+			func(file *mpiio.PlainFile, err error) { f, createErr = file, err })
+	})
+	if createErr != nil {
+		return btio.Result{}, createErr
+	}
+	return btio.Run(w, f, cfg)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

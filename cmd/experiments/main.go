@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's evaluation figures on the
+// simulated testbed and prints each as a text table.
+//
+// Usage:
+//
+//	experiments [-quick] [-fig 7] [-seed N]
+//
+// Without -fig, every figure (1a, 1b, 7, 8, 9, 10, 11, 12) and the three
+// ablation studies (ablation-division, ablation-model,
+// ablation-threshold) run in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"harl/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale (128 MB file, class W BTIO)")
+	fig := flag.String("fig", "", "single figure to run: 1a, 1b, 7, 8, 9, 10, 11 or 12")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	opts.Seed = *seed
+
+	figures := []struct {
+		name string
+		run  func(experiments.Options) (*experiments.Table, error)
+	}{
+		{"1a", experiments.Fig1a},
+		{"1b", experiments.Fig1b},
+		{"7", experiments.Fig7},
+		{"8", experiments.Fig8},
+		{"9", experiments.Fig9},
+		{"10", experiments.Fig10},
+		{"11", experiments.Fig11},
+		{"12", experiments.Fig12},
+		{"ablation-division", experiments.AblationRegionDivision},
+		{"ablation-model", experiments.AblationCostModel},
+		{"ablation-threshold", experiments.AblationThreshold},
+		{"threetier", experiments.ThreeTier},
+		{"baselines", experiments.BaselineComparison},
+	}
+
+	ran := 0
+	for _, f := range figures {
+		if *fig != "" && *fig != f.name {
+			continue
+		}
+		start := time.Now()
+		table, err := f.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		fmt.Printf("(figure %s regenerated in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,230 @@
+// Command harlctl drives HARL's off-line analysis pipeline on trace
+// files: summarize a trace, divide it into regions, compute the optimal
+// Region Stripe Table, and inspect RST files.
+//
+// Usage:
+//
+//	harlctl summary  -trace ior.trace
+//	harlctl divide   -trace ior.trace [-threshold 100] [-chunk 64M]
+//	harlctl optimize -trace ior.trace -out file.rst [-hservers 6] [-sservers 2] [-probes 1000]
+//	harlctl show     -rst file.rst
+//
+// optimize calibrates the cost model against the default simulated device
+// profiles (the stand-in for probing one real server of each class).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"harl/internal/cost"
+	"harl/internal/device"
+	"harl/internal/harl"
+	"harl/internal/netsim"
+	"harl/internal/region"
+	"harl/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "summary":
+		err = cmdSummary(args)
+	case "divide":
+		err = cmdDivide(args)
+	case "optimize":
+		err = cmdOptimize(args)
+	case "show":
+		err = cmdShow(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harlctl %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show} [flags]")
+	os.Exit(2)
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file (required)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	tr, err := loadTrace(*path)
+	if err != nil {
+		return err
+	}
+	s := tr.Summarize()
+	fmt.Printf("requests:   %d (%d reads, %d writes)\n", s.Requests, s.Reads, s.Writes)
+	fmt.Printf("bytes:      %d (%d read, %d written)\n", s.Bytes, s.BytesRead, s.BytesWrite)
+	fmt.Printf("sizes:      min %d  avg %.0f  max %d\n", s.MinSize, s.AvgSize, s.MaxSize)
+	fmt.Printf("extent:     %d bytes\n", s.MaxOffset)
+	fmt.Printf("open files: %d\n", s.DistinctFDs)
+	return nil
+}
+
+func cmdDivide(args []string) error {
+	fs := flag.NewFlagSet("divide", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file (required)")
+	threshold := fs.Float64("threshold", region.DefaultThreshold, "CV-change threshold percent")
+	chunk := fs.Int64("chunk", region.DefaultChunkSize, "fixed-division chunk bounding the region count")
+	adaptive := fs.Bool("adaptive", true, "auto-raise the threshold to bound the region count")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	tr, err := loadTrace(*path)
+	if err != nil {
+		return err
+	}
+	tr.SortByOffset()
+	var regions []region.Region
+	used := *threshold
+	if *adaptive {
+		regions, used = region.DivideAdaptive(tr.Records, *chunk, 0)
+	} else {
+		regions = region.Divide(tr.Records, *threshold, 0)
+	}
+	fmt.Printf("%d regions (threshold %.0f%%):\n", len(regions), used)
+	for i, r := range regions {
+		fmt.Printf("  %3d: %v\n", i, r)
+	}
+	return nil
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file (required)")
+	out := fs.String("out", "", "output RST file (required)")
+	hservers := fs.Int("hservers", 6, "HDD servers")
+	sservers := fs.Int("sservers", 2, "SSD servers")
+	probes := fs.Int("probes", 1000, "calibration probes per device/op/size")
+	chunk := fs.Int64("chunk", region.DefaultChunkSize, "region-count bound chunk")
+	step := fs.Int64("step", harl.DefaultStep, "Algorithm 2 grid step")
+	tiers := fs.Bool("tiers", false, "three-tier mode: hservers HDDs + 1 SATA SSD + 1 PCIe SSD, tiered RST output")
+	fs.Parse(args)
+	if *path == "" || *out == "" {
+		return fmt.Errorf("-trace and -out are required")
+	}
+	tr, err := loadTrace(*path)
+	if err != nil {
+		return err
+	}
+	if *tiers {
+		return optimizeTiered(tr, *out, *hservers, *probes, *chunk, *step)
+	}
+	params, err := cost.Calibrate(device.DefaultHDD(), device.DefaultSSD(), netsim.GigabitEthernet(),
+		*hservers, *sservers, *probes, 1)
+	if err != nil {
+		return err
+	}
+	plan, err := harl.Planner{Params: params, ChunkSize: *chunk, Step: *step}.Analyze(tr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := plan.RST.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("threshold used: %.0f%%\n", plan.Threshold)
+	for i, r := range plan.Regions {
+		fmt.Printf("  region %3d: [%d,%d) avg %.0fB  stripes %v  writes %.0f%%\n",
+			i, r.Offset, r.End, r.AvgSize, r.Stripes, r.WriteMix*100)
+	}
+	fmt.Printf("RST with %d entries written to %s\n", len(plan.RST.Entries), *out)
+	return nil
+}
+
+// optimizeTiered is the -tiers variant of cmdOptimize: a three-profile
+// system (hservers HDDs + one SATA SSD + one PCI-E SSD) analyzed with
+// the multi-tier model and optimizer.
+func optimizeTiered(tr *trace.Trace, out string, hservers, probes int, chunk, step int64) error {
+	profiles := []device.Profile{device.DefaultHDD(), device.DefaultSATASSD(), device.DefaultSSD()}
+	counts := []int{hservers, 1, 1}
+	params, err := cost.CalibrateTiers(profiles, counts, netsim.GigabitEthernet(), probes, 1)
+	if err != nil {
+		return err
+	}
+	plan, err := harl.TieredPlanner{Params: params, ChunkSize: chunk, Step: step}.Analyze(tr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := plan.RST.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("threshold used: %.0f%%\n", plan.Threshold)
+	for i, e := range plan.RST.Entries {
+		fmt.Printf("  region %3d: [%d,%d) stripes %v\n", i, e.Offset, e.End, e.Stripes)
+	}
+	fmt.Printf("tiered RST with %d entries written to %s\n", len(plan.RST.Entries), out)
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	path := fs.String("rst", "", "RST file (required)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("-rst is required")
+	}
+	data, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	// The header line distinguishes two-tier from tiered tables.
+	if rst, err := harl.ReadRST(bytes.NewReader(data)); err == nil {
+		fmt.Printf("%-6s %-14s %-14s %-10s %-10s\n", "region", "offset", "end", "H stripe", "S stripe")
+		for i, e := range rst.Entries {
+			fmt.Printf("%-6d %-14d %-14d %-10s %-10s\n", i, e.Offset, e.End, kb(e.H), kb(e.S))
+		}
+		return nil
+	}
+	trst, err := harl.ReadTieredRST(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("not a valid RST or tiered RST: %w", err)
+	}
+	fmt.Printf("tier server counts: %v\n", trst.Counts)
+	fmt.Printf("%-6s %-14s %-14s %s\n", "region", "offset", "end", "per-tier stripes")
+	for i, e := range trst.Entries {
+		fmt.Printf("%-6d %-14d %-14d %v\n", i, e.Offset, e.End, e.Stripes)
+	}
+	return nil
+}
+
+func kb(b int64) string {
+	if b%1024 == 0 {
+		return fmt.Sprintf("%dKB", b/1024)
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,170 @@
+// Command iorsim runs the IOR benchmark on the simulated hybrid parallel
+// file system with a chosen data layout.
+//
+// Usage:
+//
+//	iorsim [-ranks 16] [-req 512K] [-file 2G] [-hservers 6] [-sservers 2]
+//	       [-layout fixed:64K | -layout varied:32K:160K | -layout harl | -layout random]
+//	       [-seed 1]
+//
+// The harl layout runs the full pipeline: synthesize the tracing-phase
+// trace from the workload plan, calibrate the cost model against the
+// simulated devices, analyze (Algorithms 1 and 2), place, then measure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"harl/internal/cluster"
+	"harl/internal/harl"
+	"harl/internal/ior"
+	"harl/internal/layout"
+	"harl/internal/mpiio"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 16, "number of IOR processes")
+	nodes := flag.Int("nodes", 8, "compute nodes hosting the processes")
+	req := flag.String("req", "512K", "request size (K/M suffixes)")
+	file := flag.String("file", "2G", "shared file size")
+	hservers := flag.Int("hservers", 6, "HDD servers")
+	sservers := flag.Int("sservers", 2, "SSD servers")
+	layoutSpec := flag.String("layout", "fixed:64K", "fixed:SIZE | varied:H:S | random | harl")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := ior.Config{
+		Ranks:        *ranks,
+		RanksPerNode: max(1, *ranks / *nodes),
+		RequestSize:  parseSize(*req),
+		FileSize:     parseSize(*file),
+		Random:       true,
+		Seed:         *seed,
+	}
+	clusterCfg := cluster.WithRatio(*hservers, *sservers)
+	clusterCfg.Seed = *seed
+
+	res, label, err := run(clusterCfg, cfg, *layoutSpec, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("layout %-22s ranks %-4d req %-8s file %s\n", label, cfg.Ranks, *req, *file)
+	fmt.Printf("  write: %8.1f MB/s  (%d bytes in %v)\n", res.WriteMBs(), res.WriteBytes, res.WriteTime)
+	fmt.Printf("  read:  %8.1f MB/s  (%d bytes in %v)\n", res.ReadMBs(), res.ReadBytes, res.ReadTime)
+}
+
+func run(clusterCfg cluster.Config, cfg ior.Config, spec string, seed int64) (ior.Result, string, error) {
+	var pair harl.StripePair
+	switch {
+	case strings.HasPrefix(spec, "fixed:"):
+		sz := parseSize(strings.TrimPrefix(spec, "fixed:"))
+		pair = harl.StripePair{H: sz, S: sz}
+	case strings.HasPrefix(spec, "varied:"):
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return ior.Result{}, "", fmt.Errorf("bad varied layout %q, want varied:H:S", spec)
+		}
+		pair = harl.StripePair{H: parseSize(parts[1]), S: parseSize(parts[2])}
+	case spec == "random":
+		rng := rand.New(rand.NewSource(seed + 42))
+		pair = harl.StripePair{H: (rng.Int63n(512) + 1) * 4096, S: (rng.Int63n(512) + 1) * 4096}
+	case spec == "harl":
+		return runHARL(clusterCfg, cfg)
+	default:
+		return ior.Result{}, "", fmt.Errorf("unknown layout %q", spec)
+	}
+	res, err := runFixed(clusterCfg, cfg, pair)
+	return res, pair.String(), err
+}
+
+func runFixed(clusterCfg cluster.Config, cfg ior.Config, pair harl.StripePair) (ior.Result, error) {
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return ior.Result{}, err
+	}
+	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+	st := layout.Striping{M: clusterCfg.HServers, N: clusterCfg.SServers, H: pair.H, S: pair.S}
+	var f *mpiio.PlainFile
+	var createErr error
+	w.Run(func() {
+		w.CreatePlain("ior", st, func(file *mpiio.PlainFile, err error) { f, createErr = file, err })
+	})
+	if createErr != nil {
+		return ior.Result{}, createErr
+	}
+	return ior.Run(w, f, cfg)
+}
+
+func runHARL(clusterCfg cluster.Config, cfg ior.Config) (ior.Result, string, error) {
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return ior.Result{}, "", err
+	}
+	params, err := tb.Calibrate(1000)
+	if err != nil {
+		return ior.Result{}, "", err
+	}
+	plan, err := harl.Planner{Params: params, ChunkSize: maxI64(cfg.FileSize/256, 1<<20)}.Analyze(cfg.Trace())
+	if err != nil {
+		return ior.Result{}, "", err
+	}
+	tb2, err := cluster.New(clusterCfg)
+	if err != nil {
+		return ior.Result{}, "", err
+	}
+	w := mpiio.NewWorld(tb2.FS, cfg.Ranks, cfg.RanksPerNode)
+	var f *mpiio.HARLFile
+	var createErr error
+	w.Run(func() {
+		w.CreateHARL("ior", &plan.RST, func(file *mpiio.HARLFile, err error) { f, createErr = file, err })
+	})
+	if createErr != nil {
+		return ior.Result{}, "", createErr
+	}
+	res, err := ior.Run(w, f, cfg)
+	label := "harl"
+	if len(plan.Regions) == 1 {
+		label = "harl " + plan.Regions[0].Stripes.String()
+	} else {
+		label = fmt.Sprintf("harl (%d regions)", len(plan.Regions))
+	}
+	return res, label, err
+}
+
+// parseSize parses "64K", "2M", "1G" or plain bytes.
+func parseSize(s string) int64 {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: bad size %q\n", s)
+		os.Exit(2)
+	}
+	return n * mult
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

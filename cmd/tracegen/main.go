@@ -1,0 +1,129 @@
+// Command tracegen synthesizes IOSIG-format trace files for the analysis
+// tools: the uniform IOR workload, the paper's four-region non-uniform
+// workload, or a mixed random workload.
+//
+// Usage:
+//
+//	tracegen -kind ior     -out ior.trace [-ranks 16] [-req 512K] [-file 2G]
+//	tracegen -kind multi   -out multi.trace [-ranks 16]
+//	tracegen -kind mixed   -out mixed.trace [-requests 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"harl/internal/device"
+	"harl/internal/ior"
+	"harl/internal/sim"
+	"harl/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "ior", "workload kind: ior, multi or mixed")
+	out := flag.String("out", "", "output trace file (required)")
+	ranks := flag.Int("ranks", 16, "processes")
+	req := flag.String("req", "512K", "request size (ior kind)")
+	file := flag.String("file", "2G", "file size (ior kind)")
+	requests := flag.Int("requests", 2000, "request count (mixed kind)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -out is required")
+		os.Exit(2)
+	}
+
+	var tr *trace.Trace
+	switch *kind {
+	case "ior":
+		cfg := ior.Default()
+		cfg.Ranks = *ranks
+		cfg.RequestSize = parseSize(*req)
+		cfg.FileSize = parseSize(*file)
+		cfg.Seed = *seed
+		if err := cfg.Validate(); err != nil {
+			fail(err)
+		}
+		tr = cfg.Trace()
+	case "multi":
+		cfg := ior.DefaultMulti()
+		cfg.Ranks = *ranks
+		cfg.Seed = *seed
+		if err := cfg.Validate(); err != nil {
+			fail(err)
+		}
+		tr = cfg.Trace()
+	case "mixed":
+		tr = mixed(*requests, *seed)
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d records to %s\n", tr.Len(), *out)
+}
+
+// mixed emits phases of differing request sizes at increasing offsets —
+// the kind of multi-phase application trace HARL's region division is
+// built for.
+func mixed(n int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{}
+	off := int64(0)
+	ts := sim.Time(0)
+	remaining := n
+	for remaining > 0 {
+		phase := rng.Intn(n/4+1) + 4
+		if phase > remaining {
+			phase = remaining
+		}
+		size := int64(4096) << uint(rng.Intn(10)) // 4K..2M
+		op := device.Read
+		if rng.Intn(2) == 1 {
+			op = device.Write
+		}
+		for i := 0; i < phase; i++ {
+			tr.Records = append(tr.Records, trace.Record{
+				PID: 1000, Rank: rng.Intn(16), FD: 3,
+				Op: op, Offset: off, Size: size,
+				Start: ts, End: ts + 1,
+			})
+			off += size
+			ts++
+		}
+		remaining -= phase
+	}
+	return tr
+}
+
+func parseSize(s string) int64 {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		fail(fmt.Errorf("bad size %q", s))
+	}
+	return n * mult
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

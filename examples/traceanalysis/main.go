@@ -1,0 +1,95 @@
+// Trace analysis: the library as an off-line analysis toolkit. An
+// instrumented run collects an IOSIG-style trace through the middleware's
+// tracing wrapper; the trace round-trips through the text codec; region
+// division and stripe optimization turn it into a Region Stripe Table,
+// which also round-trips through its on-disk format — everything HARL
+// persists between the first (traced) execution and later (optimized)
+// runs.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"harl/internal/cluster"
+	"harl/internal/harl"
+	"harl/internal/ior"
+	"harl/internal/layout"
+	"harl/internal/mpiio"
+	"harl/internal/trace"
+)
+
+func main() {
+	// Phase 1 — Tracing: run a small two-phase workload through the
+	// instrumented middleware on the default layout.
+	tb := cluster.MustNew(cluster.Default())
+	w := mpiio.NewWorld(tb.FS, 8, 2)
+	collector := trace.NewCollector()
+
+	var traced *mpiio.TracingFile
+	w.Run(func() {
+		w.CreatePlain("app.dat", layout.Fixed(6, 2, 64<<10), func(f *mpiio.PlainFile, err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			traced = w.Trace(f, collector)
+		})
+	})
+
+	cfg := ior.Config{
+		Ranks: 8, RanksPerNode: 2,
+		RequestSize: 256 << 10, FileSize: 64 << 20,
+		Random: true, Seed: 11,
+	}
+	if _, err := ior.Run(w, traced, cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	tr := collector.Trace()
+	sum := tr.Summarize()
+	fmt.Printf("collected %d requests (%d reads / %d writes), avg size %.0f B\n",
+		sum.Requests, sum.Reads, sum.Writes, sum.AvgSize)
+
+	// The trace file round-trips through the IOSIG text format.
+	var traceFile bytes.Buffer
+	if err := tr.Write(&traceFile); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := trace.Read(&traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace codec round trip: %d -> %d records\n", tr.Len(), reloaded.Len())
+
+	// Phase 2 — Analysis: calibrate, divide, optimize.
+	params, err := tb.Calibrate(1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := harl.Planner{Params: params, ChunkSize: 4 << 20}.Analyze(reloaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysis: %d region(s), CV threshold %.0f%%\n", len(plan.Regions), plan.Threshold)
+	for i, r := range plan.Regions {
+		fmt.Printf("  region %d: [%d, %d) stripes %v (model cost %.4fs, %.0f%% writes)\n",
+			i, r.Offset, r.End, r.Stripes, r.ModelCost, r.WriteMix*100)
+	}
+
+	// The RST round-trips through its on-disk format, ready for the
+	// Placing Phase of later runs.
+	var rstFile bytes.Buffer
+	if err := plan.RST.Write(&rstFile); err != nil {
+		log.Fatal(err)
+	}
+	rst, err := harl.ReadRST(&rstFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RST codec round trip: %d entries, extent %d bytes\n", len(rst.Entries), rst.Extent())
+	r2f := harl.BuildR2F("app.dat", rst)
+	for _, e := range r2f.Entries {
+		fmt.Printf("  region %d -> physical file %q\n", e.Region, e.File)
+	}
+}

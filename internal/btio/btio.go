@@ -1,0 +1,311 @@
+// Package btio reimplements the NAS BTIO benchmark's I/O kernel (the
+// paper's Section IV-C workload): the Block-Tridiagonal solver's
+// checkpointing pattern. P = p² processes own a diagonal multi-partition
+// of an N³ grid of 5-double cells; every WriteInterval time steps each
+// process appends its blocks of the solution array to a shared file with
+// collective I/O, and at the end the whole solution history is read back
+// and verified ("full" subtype: MPI collective buffering enabled).
+//
+// The computation (the Navier–Stokes solve) is elided — it never touches
+// the I/O path; time steps exist only to sequence the write phases.
+package btio
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"harl/internal/mpiio"
+	"harl/internal/sim"
+	"harl/internal/stats"
+)
+
+// CellBytes is the solution vector size per grid cell: 5 double-precision
+// words.
+const CellBytes = 5 * 8
+
+// Subtype selects the I/O method, as NPB BTIO's build-time subtypes do.
+type Subtype int
+
+// Subtypes.
+const (
+	// Full is the paper's evaluation subtype: MPI collective I/O with
+	// collective buffering (two-phase I/O).
+	Full Subtype = iota
+	// Simple issues each rank's noncontiguous rows as independent
+	// requests — no aggregation, the pattern the PFS is worst at.
+	Simple
+)
+
+// String names the subtype as NPB does.
+func (s Subtype) String() string {
+	if s == Simple {
+		return "simple"
+	}
+	return "full"
+}
+
+// Config parameterizes a BTIO run.
+type Config struct {
+	Ranks        int // must be a perfect square (BTIO requirement)
+	RanksPerNode int
+	Grid         int // N: the grid is N x N x N cells
+	TimeSteps    int
+	Interval     int // write every Interval steps (wr_interval, default 5)
+	Subtype      Subtype
+	Verify       bool
+}
+
+// Class presets mirror the NPB problem classes the paper draws from;
+// class A (the paper's choice) appends 40 snapshots of a 64^3 grid.
+func ClassS(ranks int) Config {
+	return Config{Ranks: ranks, RanksPerNode: 2, Grid: 12, TimeSteps: 60, Interval: 5, Verify: true}
+}
+
+// ClassW is the workstation class: 24^3 grid, 200 steps.
+func ClassW(ranks int) Config {
+	return Config{Ranks: ranks, RanksPerNode: 2, Grid: 24, TimeSteps: 200, Interval: 5, Verify: true}
+}
+
+// ClassA is the paper's evaluation class: 64^3 grid, 200 steps, 40
+// snapshots of ~10.5 MB each.
+func ClassA(ranks int) Config {
+	return Config{Ranks: ranks, RanksPerNode: 2, Grid: 64, TimeSteps: 200, Interval: 5}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	p := int(math.Round(math.Sqrt(float64(c.Ranks))))
+	switch {
+	case c.Ranks <= 0 || p*p != c.Ranks:
+		return fmt.Errorf("btio: ranks %d is not a perfect square", c.Ranks)
+	case c.RanksPerNode <= 0:
+		return fmt.Errorf("btio: invalid ranks per node %d", c.RanksPerNode)
+	case c.Grid <= 0 || c.Grid%p != 0:
+		return fmt.Errorf("btio: grid %d not divisible by p=%d", c.Grid, p)
+	case c.TimeSteps <= 0 || c.Interval <= 0:
+		return fmt.Errorf("btio: invalid steps %d / interval %d", c.TimeSteps, c.Interval)
+	}
+	return nil
+}
+
+// Snapshots returns how many solution dumps the run appends.
+func (c Config) Snapshots() int { return c.TimeSteps / c.Interval }
+
+// SnapshotBytes returns the size of one solution dump.
+func (c Config) SnapshotBytes() int64 {
+	n := int64(c.Grid)
+	return n * n * n * CellBytes
+}
+
+// TotalBytes returns the bytes written (and, with the final read-back,
+// also read) by the run.
+func (c Config) TotalBytes() int64 { return int64(c.Snapshots()) * c.SnapshotBytes() }
+
+// block is one (N/p)^3 sub-cube owned by a rank.
+type block struct{ bi, bj, bk int }
+
+// blocksOf returns rank r's p diagonal blocks. BT's multi-partitioning
+// assigns process (i,j) the blocks (i+k mod p, j+k mod p, k) for k in
+// [0,p): every process touches every z-slab, which is what makes the
+// file access pattern nested-strided.
+func blocksOf(rank, p int) []block {
+	i, j := rank%p, rank/p
+	blocks := make([]block, p)
+	for k := 0; k < p; k++ {
+		blocks[k] = block{bi: (i + k) % p, bj: (j + k) % p, bk: k}
+	}
+	return blocks
+}
+
+// pieces returns rank r's contributions to one snapshot at the given file
+// base offset: one CollPiece per contiguous row of each owned block. fill
+// generates the payload for [elem, elem+count) cells, where elem is the
+// linear cell index within the snapshot; a nil fill yields zero payloads
+// (sized but unwritten, for phantom-free simplicity the data is real but
+// zero — BTIO verification uses a non-nil fill).
+func (c Config) pieces(rank, p int, base int64, fill func(elem int64, buf []byte)) []mpiio.CollPiece {
+	n := int64(c.Grid)
+	b := n / int64(p)
+	var out []mpiio.CollPiece
+	for _, blk := range blocksOf(rank, p) {
+		for dz := int64(0); dz < b; dz++ {
+			z := int64(blk.bk)*b + dz
+			for dy := int64(0); dy < b; dy++ {
+				y := int64(blk.bj)*b + dy
+				x := int64(blk.bi) * b
+				elem := (z*n+y)*n + x
+				buf := make([]byte, b*CellBytes)
+				if fill != nil {
+					fill(elem, buf)
+				}
+				out = append(out, mpiio.CollPiece{Off: base + elem*CellBytes, Data: buf})
+			}
+		}
+	}
+	return out
+}
+
+// ranges returns the read-back ranges matching pieces.
+func (c Config) ranges(rank, p int, base int64) []mpiio.CollRange {
+	n := int64(c.Grid)
+	b := n / int64(p)
+	var out []mpiio.CollRange
+	for _, blk := range blocksOf(rank, p) {
+		for dz := int64(0); dz < b; dz++ {
+			z := int64(blk.bk)*b + dz
+			for dy := int64(0); dy < b; dy++ {
+				y := int64(blk.bj)*b + dy
+				x := int64(blk.bi) * b
+				elem := (z*n+y)*n + x
+				out = append(out, mpiio.CollRange{Off: base + elem*CellBytes, Size: b * CellBytes})
+			}
+		}
+	}
+	return out
+}
+
+// fillPattern writes a deterministic, position-dependent byte pattern so
+// the verification pass detects any misplacement.
+func fillPattern(snapshot int) func(elem int64, buf []byte) {
+	return func(elem int64, buf []byte) {
+		seed := elem*31 + int64(snapshot)*101
+		for i := range buf {
+			buf[i] = byte(seed + int64(i)*7)
+		}
+	}
+}
+
+// Result reports one BTIO run.
+type Result struct {
+	Config     Config
+	WriteBytes int64
+	ReadBytes  int64
+	WriteTime  sim.Duration
+	ReadTime   sim.Duration
+	Verified   bool
+}
+
+// WriteMBs returns write throughput in MB/s.
+func (r Result) WriteMBs() float64 {
+	return stats.Throughput(r.WriteBytes, r.WriteTime.Seconds())
+}
+
+// ReadMBs returns read throughput in MB/s.
+func (r Result) ReadMBs() float64 {
+	return stats.Throughput(r.ReadBytes, r.ReadTime.Seconds())
+}
+
+// AggregateMBs returns the combined write+read throughput — the metric
+// the paper's Fig. 12 plots.
+func (r Result) AggregateMBs() float64 {
+	return stats.Throughput(r.WriteBytes+r.ReadBytes, (r.WriteTime + r.ReadTime).Seconds())
+}
+
+// Run executes the BTIO kernel against f: Snapshots() collective write
+// phases, then a full collective read-back (with verification when
+// configured).
+func Run(w *mpiio.World, f mpiio.File, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if w.Ranks() != cfg.Ranks {
+		return Result{}, fmt.Errorf("btio: world has %d ranks, config wants %d", w.Ranks(), cfg.Ranks)
+	}
+	p := int(math.Round(math.Sqrt(float64(cfg.Ranks))))
+	if res, handled, err := dispatchRun(w, f, cfg, p); handled {
+		return res, err
+	}
+	res := Result{Config: cfg, Verified: true}
+	var verifyErr error
+
+	w.Run(func() {
+		writeStart := w.Engine().Now()
+		var writeSnapshot func(snap int)
+		writeSnapshot = func(snap int) {
+			if snap == cfg.Snapshots() {
+				res.WriteBytes = cfg.TotalBytes()
+				res.WriteTime = w.Engine().Now().Sub(writeStart)
+				readStart := w.Engine().Now()
+
+				var readSnapshot func(snap int)
+				readSnapshot = func(snap int) {
+					if snap == cfg.Snapshots() {
+						res.ReadBytes = cfg.TotalBytes()
+						res.ReadTime = w.Engine().Now().Sub(readStart)
+						return
+					}
+					base := int64(snap) * cfg.SnapshotBytes()
+					ranges := make([][]mpiio.CollRange, cfg.Ranks)
+					for r := 0; r < cfg.Ranks; r++ {
+						ranges[r] = cfg.ranges(r, p, base)
+					}
+					w.CollectiveRead(f, ranges, func(bufs [][][]byte, err error) {
+						if err != nil && verifyErr == nil {
+							verifyErr = err
+						}
+						if cfg.Verify {
+							if err := cfg.verifySnapshot(snap, p, bufs); err != nil {
+								res.Verified = false
+								if verifyErr == nil {
+									verifyErr = err
+								}
+							}
+						}
+						readSnapshot(snap + 1)
+					})
+				}
+				readSnapshot(0)
+				return
+			}
+			base := int64(snap) * cfg.SnapshotBytes()
+			var fill func(int64, []byte)
+			if cfg.Verify {
+				fill = fillPattern(snap)
+			}
+			pieces := make([][]mpiio.CollPiece, cfg.Ranks)
+			for r := 0; r < cfg.Ranks; r++ {
+				pieces[r] = cfg.pieces(r, p, base, fill)
+			}
+			w.CollectiveWrite(f, pieces, func(err error) {
+				if err != nil && verifyErr == nil {
+					verifyErr = err
+				}
+				writeSnapshot(snap + 1)
+			})
+		}
+		writeSnapshot(0)
+	})
+	if verifyErr != nil {
+		return res, verifyErr
+	}
+	return res, nil
+}
+
+// verifySnapshot checks every rank's read-back buffers against the write
+// pattern.
+func (c Config) verifySnapshot(snap, p int, bufs [][][]byte) error {
+	n := int64(c.Grid)
+	b := n / int64(p)
+	fill := fillPattern(snap)
+	want := make([]byte, b*CellBytes)
+	for r := 0; r < c.Ranks; r++ {
+		idx := 0
+		for _, blk := range blocksOf(r, p) {
+			for dz := int64(0); dz < b; dz++ {
+				z := int64(blk.bk)*b + dz
+				for dy := int64(0); dy < b; dy++ {
+					y := int64(blk.bj)*b + dy
+					x := int64(blk.bi) * b
+					elem := (z*n+y)*n + x
+					fill(elem, want)
+					if !bytes.Equal(bufs[r][idx], want) {
+						return fmt.Errorf("btio: snapshot %d rank %d row %d mismatch", snap, r, idx)
+					}
+					idx++
+				}
+			}
+		}
+	}
+	return nil
+}

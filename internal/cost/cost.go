@@ -1,0 +1,145 @@
+// Package cost implements the analytical data-access cost model of
+// Section III-D of the paper: the expected I/O completion time of one file
+// request in a hybrid PFS, as a function of the I/O pattern, the system
+// architecture, network and storage parameters (Table I), and the data
+// layout (stripe sizes h on HServers and s on SServers).
+//
+// The cost of a request is T = T_X + T_S + T_T:
+//
+//   - T_X, the network transfer time, is the larger of the biggest
+//     sub-request on either class times the unit network time t (Eq. 1);
+//   - T_S, the storage startup time, is the expected maximum of the
+//     per-server startup draws. For m servers with startup uniform on
+//     [αmin, αmax] the expected maximum is αmin + m/(m+1)·(αmax-αmin)
+//     (Eqs. 2-4), and T_S is the larger of the HServer and SServer terms
+//     (Eq. 5);
+//   - T_T, the storage transfer time, is the larger of s_m·β_h and
+//     s_n·β_s for the class-specific transfer rates (Eq. 6).
+//
+// Reads and writes use the same formulas with the class parameters
+// swapped in (Eqs. 7-8); SServer writes are slower than reads, reflecting
+// flash garbage collection and wear leveling.
+//
+// The per-request quantities (m, n, s_m, s_n) come from the striping
+// geometry in package layout. The paper derives them with the closed-form
+// case analysis of its Figures 4-5; this implementation computes them
+// exactly for all four cases (and the degenerate h=0 / s=0 layouts) from
+// the same round-robin geometry, in O(M+N) per request.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"harl/internal/device"
+	"harl/internal/layout"
+)
+
+// Params carries every Table I parameter. Times are in seconds and rates
+// in seconds per byte, since the model is pure arithmetic (the simulator,
+// not the model, owns the integer virtual clock).
+type Params struct {
+	// Architecture.
+	M int // number of HServers
+	N int // number of SServers
+
+	// Network: unit data transfer time t (seconds per byte).
+	NetUnit float64
+
+	// HServer storage: startup uniform on [AlphaHMin, AlphaHMax], unit
+	// transfer time BetaH. The paper uses one HServer profile for both
+	// operations.
+	AlphaHMin, AlphaHMax float64
+	BetaH                float64
+
+	// SServer storage, read path.
+	AlphaSRMin, AlphaSRMax float64
+	BetaSR                 float64
+
+	// SServer storage, write path.
+	AlphaSWMin, AlphaSWMax float64
+	BetaSW                 float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.M < 0 || p.N < 0 || p.M+p.N == 0:
+		return fmt.Errorf("cost: invalid server counts M=%d N=%d", p.M, p.N)
+	case p.NetUnit < 0:
+		return fmt.Errorf("cost: negative network unit time")
+	case p.AlphaHMin < 0 || p.AlphaHMax < p.AlphaHMin:
+		return fmt.Errorf("cost: bad HServer startup range [%v,%v]", p.AlphaHMin, p.AlphaHMax)
+	case p.AlphaSRMin < 0 || p.AlphaSRMax < p.AlphaSRMin:
+		return fmt.Errorf("cost: bad SServer read startup range")
+	case p.AlphaSWMin < 0 || p.AlphaSWMax < p.AlphaSWMin:
+		return fmt.Errorf("cost: bad SServer write startup range")
+	case p.BetaH < 0 || p.BetaSR < 0 || p.BetaSW < 0:
+		return fmt.Errorf("cost: negative unit transfer time")
+	}
+	return nil
+}
+
+// expectedMaxUniform returns E[max of m iid U(lo,hi) draws] =
+// lo + m/(m+1)·(hi-lo), the order-statistics term of Eqs. (3)-(4).
+// Zero servers contribute no startup.
+func expectedMaxUniform(lo, hi float64, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	k := float64(m)
+	return lo + k/(k+1)*(hi-lo)
+}
+
+// Breakdown itemizes one request's modeled cost.
+type Breakdown struct {
+	Network  float64 // T_X
+	Startup  float64 // T_S
+	Transfer float64 // T_T
+}
+
+// Total returns T = T_X + T_S + T_T.
+func (b Breakdown) Total() float64 { return b.Network + b.Startup + b.Transfer }
+
+// RequestCost returns the modeled completion time (seconds) of one file
+// request of the given size at the given offset under stripe sizes (h, s).
+func (p Params) RequestCost(op device.Op, offset, size, h, s int64) float64 {
+	return p.RequestBreakdown(op, offset, size, h, s).Total()
+}
+
+// RequestBreakdown is RequestCost with the three terms itemized.
+func (p Params) RequestBreakdown(op device.Op, offset, size, h, s int64) Breakdown {
+	if size <= 0 {
+		return Breakdown{}
+	}
+	st := layout.Striping{M: p.M, N: p.N, H: h, S: s}
+	if err := st.Validate(); err != nil {
+		panic(err)
+	}
+	d := st.DistributeAnalytic(offset, size)
+
+	sm := float64(d.MaxH)
+	sn := float64(d.MaxS)
+
+	var b Breakdown
+	// Eq. (1): network transfer of the largest sub-request on each class.
+	b.Network = math.Max(sm, sn) * p.NetUnit
+
+	// Eqs. (2)-(5): expected maximum startup across the touched servers.
+	var hStart, sStart float64
+	hStart = expectedMaxUniform(p.AlphaHMin, p.AlphaHMax, d.MTouched)
+	if op == device.Read {
+		sStart = expectedMaxUniform(p.AlphaSRMin, p.AlphaSRMax, d.NTouched)
+	} else {
+		sStart = expectedMaxUniform(p.AlphaSWMin, p.AlphaSWMax, d.NTouched)
+	}
+	b.Startup = math.Max(hStart, sStart)
+
+	// Eq. (6): storage transfer of the largest sub-request on each class.
+	if op == device.Read {
+		b.Transfer = math.Max(sm*p.BetaH, sn*p.BetaSR)
+	} else {
+		b.Transfer = math.Max(sm*p.BetaH, sn*p.BetaSW)
+	}
+	return b
+}

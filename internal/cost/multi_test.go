@@ -1,0 +1,140 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"harl/internal/device"
+	"harl/internal/netsim"
+	"harl/internal/sim"
+)
+
+func TestMultiValidate(t *testing.T) {
+	good := MultiOf(testParams())
+	if err := good.Validate(); err != nil {
+		t.Fatalf("lifted params rejected: %v", err)
+	}
+	bad := []MultiParams{
+		{},
+		{NetUnit: -1, Tiers: good.Tiers},
+		{Tiers: []TierParams{{Count: -1}}},
+		{Tiers: []TierParams{{Count: 0}}}, // no servers at all
+		{Tiers: []TierParams{{Count: 1, ReadAlphaMin: 5, ReadAlphaMax: 1}}},
+		{Tiers: []TierParams{{Count: 1, WriteAlphaMax: -1, WriteAlphaMin: -2}}},
+		{Tiers: []TierParams{{Count: 1, ReadBeta: -1}}},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+// Property: the lifted two-tier model computes exactly the same cost as
+// the original Params for arbitrary requests and stripe pairs.
+func TestMultiOfEquivalenceProperty(t *testing.T) {
+	p := testParams()
+	p.M, p.N = 6, 2
+	mp := MultiOf(p)
+	prop := func(off32, size32 uint32, h8, s8 uint8, opBit bool) bool {
+		h := int64(h8%64) * 4096
+		s := int64(s8%64) * 4096
+		if h == 0 && s == 0 {
+			return true
+		}
+		op := device.Read
+		if opBit {
+			op = device.Write
+		}
+		off := int64(off32 % (8 << 20))
+		size := int64(size32%(4<<20)) + 1
+		a := p.RequestCost(op, off, size, h, s)
+		b := mp.RequestCost(op, off, size, []int64{h, s})
+		return math.Abs(a-b) < 1e-12*(a+1)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// threeTier builds a HDD + mid-SSD + fast-NVMe parameter set.
+func threeTier() MultiParams {
+	return MultiParams{
+		NetUnit: 1.0 / (117 << 20),
+		Tiers: []TierParams{
+			{Name: "hdd", Count: 6,
+				ReadAlphaMin: 3e-4, ReadAlphaMax: 7e-4, ReadBeta: 1.0 / (20 << 20),
+				WriteAlphaMin: 3e-4, WriteAlphaMax: 7e-4, WriteBeta: 1.0 / (19 << 20)},
+			{Name: "ssd", Count: 1,
+				ReadAlphaMin: 2e-4, ReadAlphaMax: 4e-4, ReadBeta: 1.0 / (200 << 20),
+				WriteAlphaMin: 2e-4, WriteAlphaMax: 4e-4, WriteBeta: 1.0 / (180 << 20)},
+			{Name: "nvme", Count: 1,
+				ReadAlphaMin: 5e-5, ReadAlphaMax: 1e-4, ReadBeta: 1.0 / (800 << 20),
+				WriteAlphaMin: 5e-5, WriteAlphaMax: 1e-4, WriteBeta: 1.0 / (600 << 20)},
+		},
+	}
+}
+
+func TestMultiThreeTierOrdering(t *testing.T) {
+	p := threeTier()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const size = 512 << 10
+	// Shifting a fixed per-tier spread toward the fast tiers must not
+	// increase the cost of a full-round request.
+	slowHeavy := p.RequestCost(device.Read, 0, size, []int64{64 << 10, 64 << 10, 64 << 10})
+	fastHeavy := p.RequestCost(device.Read, 0, size, []int64{16 << 10, 128 << 10, 288 << 10})
+	if fastHeavy >= slowHeavy {
+		t.Fatalf("fast-shifted layout (%v) should beat uniform (%v)", fastHeavy, slowHeavy)
+	}
+}
+
+func TestMultiRequestCostZeroAndPanics(t *testing.T) {
+	p := threeTier()
+	if p.RequestCost(device.Read, 0, 0, []int64{1, 1, 1}) != 0 {
+		t.Fatal("zero-size request should be free")
+	}
+	mustPanicMulti(t, func() { p.RequestCost(device.Read, 0, 10, []int64{1, 1}) })
+	mustPanicMulti(t, func() { p.RequestCost(device.Read, 0, 10, []int64{0, 0, 0}) })
+}
+
+func TestCalibrateTiers(t *testing.T) {
+	profiles := []device.Profile{device.DefaultHDD(), device.DefaultSSD()}
+	nvme := device.DefaultSSD()
+	nvme.Name = "nvme"
+	nvme.ReadRate = 800 << 20
+	nvme.WriteRate = 600 << 20
+	nvme.ReadStartupMin, nvme.ReadStartupMax = 50*sim.Microsecond, 100*sim.Microsecond
+	profiles = append(profiles, nvme)
+
+	p, err := CalibrateTiers(profiles, []int{6, 1, 1}, netsim.GigabitEthernet(), 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tiers) != 3 {
+		t.Fatalf("tiers = %d", len(p.Tiers))
+	}
+	// The fitted betas must preserve the hardware speed ordering.
+	if !(p.Tiers[0].ReadBeta > p.Tiers[1].ReadBeta && p.Tiers[1].ReadBeta > p.Tiers[2].ReadBeta) {
+		t.Fatalf("beta ordering lost: %v / %v / %v",
+			p.Tiers[0].ReadBeta, p.Tiers[1].ReadBeta, p.Tiers[2].ReadBeta)
+	}
+	if _, err := CalibrateTiers(nil, nil, netsim.GigabitEthernet(), 100, 1); err == nil {
+		t.Fatal("empty profiles accepted")
+	}
+	if _, err := CalibrateTiers(profiles, []int{1}, netsim.GigabitEthernet(), 100, 1); err == nil {
+		t.Fatal("mismatched counts accepted")
+	}
+}
+
+func mustPanicMulti(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+
+	"harl/internal/cluster"
+	"harl/internal/harl"
+	"harl/internal/ior"
+	"harl/internal/mpiio"
+)
+
+// harlIOR runs the full HARL pipeline for an IOR workload and measures
+// it: trace (the deterministic request plan stands in for the traced
+// first execution — it is exactly the request stream the run replays),
+// calibrate, analyze (Algorithms 1+2), place (per-region files), run.
+//
+// onlyOp optionally restricts the analyzed trace to one operation,
+// mirroring the paper's Fig. 7, where the read test is optimized from the
+// read trace ({32K,160K}) and the write test from the write trace
+// ({36K,148K}). Pass opAny to optimize both phases jointly.
+func harlIOR(o Options, clusterCfg cluster.Config, cfg ior.Config, onlyOp int) (ior.Result, *harl.Plan, error) {
+	params, err := calibrated(clusterCfg, o.Probes)
+	if err != nil {
+		return ior.Result{}, nil, err
+	}
+	tr := cfg.Trace()
+	if onlyOp == opRead {
+		tr = tr.Reads()
+	} else if onlyOp == opWrite {
+		tr = tr.Writes()
+	}
+	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize}.Analyze(tr)
+	if err != nil {
+		return ior.Result{}, nil, err
+	}
+	res, err := runIORHARL(clusterCfg, cfg, plan.RST)
+	return res, plan, err
+}
+
+// Operation filters for harlIOR.
+const (
+	opAny = iota
+	opRead
+	opWrite
+)
+
+// runIORHARL measures an IOR config against an RST-placed file.
+func runIORHARL(clusterCfg cluster.Config, cfg ior.Config, rst harl.RST) (ior.Result, error) {
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return ior.Result{}, err
+	}
+	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+	var f *mpiio.HARLFile
+	var createErr error
+	w.Run(func() {
+		w.CreateHARL("ior", &rst, func(file *mpiio.HARLFile, err error) {
+			f, createErr = file, err
+		})
+	})
+	if createErr != nil {
+		return ior.Result{}, createErr
+	}
+	return ior.Run(w, f, cfg)
+}
+
+// Fig7 reproduces "Throughputs of IOR with different layouts": 16
+// processes, 512 KB requests, fixed-size stripes vs randomly-chosen
+// stripes vs HARL; columns are read and write MB/s. The HARL row is
+// optimized per operation, as in the paper.
+func Fig7(o Options) (*Table, error) {
+	t := &Table{Title: "Fig 7: IOR throughput by layout (16 procs, 512KB)", Columns: []string{"read MB/s", "write MB/s"}}
+	clusterCfg := cluster.Default()
+	clusterCfg.Seed = o.Seed
+	cfg := o.iorConfig(o.Ranks, 512<<10)
+
+	for _, stripe := range o.FixedStripes {
+		res, err := runIORFixed(clusterCfg, cfg, harl.StripePair{H: stripe, S: stripe})
+		if err != nil {
+			return nil, fmt.Errorf("fig7 fixed %d: %w", stripe, err)
+		}
+		t.Add(fmt.Sprintf("%dK", stripe>>10), res.ReadMBs(), res.WriteMBs())
+	}
+	for i, pair := range o.randomPairs() {
+		res, err := runIORFixed(clusterCfg, cfg, pair)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 random %d: %w", i, err)
+		}
+		t.Add(fmt.Sprintf("rand%d (%v)", i+1, pair), res.ReadMBs(), res.WriteMBs())
+	}
+	rRes, rPlan, err := harlIOR(o, clusterCfg, cfg, opRead)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 harl read: %w", err)
+	}
+	wRes, wPlan, err := harlIOR(o, clusterCfg, cfg, opWrite)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 harl write: %w", err)
+	}
+	t.Add(fmt.Sprintf("HARL (r:%v w:%v)", planPair(rPlan), planPair(wPlan)),
+		rRes.ReadMBs(), wRes.WriteMBs())
+	return t, nil
+}
+
+// planPair summarizes a single-region plan's stripe pair for labels.
+func planPair(p *harl.Plan) harl.StripePair {
+	if len(p.Regions) == 0 {
+		return harl.StripePair{}
+	}
+	return p.Regions[0].Stripes
+}
+
+// Fig8 reproduces "Throughputs of IOR with various number of processes":
+// 8-256 processes at 512 KB requests; columns compare the default 64 KB
+// layout, the best fixed layout, a random layout, and HARL.
+func Fig8(o Options) (*Table, error) {
+	t := &Table{
+		Title: "Fig 8: IOR throughput by process count (512KB requests)",
+		Columns: []string{
+			"64K read", "64K write", "bestfix read", "bestfix write",
+			"rand read", "rand write", "HARL read", "HARL write",
+		},
+	}
+	clusterCfg := cluster.Default()
+	clusterCfg.Seed = o.Seed
+	randPair := o.randomPairs()[0]
+	for _, procs := range []int{8, 32, 128, 256} {
+		cfg := o.iorConfig(procs, 512<<10)
+		def, err := runIORFixed(clusterCfg, cfg, harl.StripePair{H: 64 << 10, S: 64 << 10})
+		if err != nil {
+			return nil, err
+		}
+		bestR, bestW := def.ReadMBs(), def.WriteMBs()
+		for _, stripe := range o.FixedStripes {
+			res, err := runIORFixed(clusterCfg, cfg, harl.StripePair{H: stripe, S: stripe})
+			if err != nil {
+				return nil, err
+			}
+			if res.ReadMBs() > bestR {
+				bestR = res.ReadMBs()
+			}
+			if res.WriteMBs() > bestW {
+				bestW = res.WriteMBs()
+			}
+		}
+		rnd, err := runIORFixed(clusterCfg, cfg, randPair)
+		if err != nil {
+			return nil, err
+		}
+		hres, _, err := harlIOR(o, clusterCfg, cfg, opAny)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d procs", procs),
+			def.ReadMBs(), def.WriteMBs(), bestR, bestW,
+			rnd.ReadMBs(), rnd.WriteMBs(), hres.ReadMBs(), hres.WriteMBs())
+	}
+	return t, nil
+}
+
+// Fig9 reproduces "Throughputs of IOR with various request sizes":
+// 128 KB and 1024 KB requests across the layout set.
+func Fig9(o Options) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 9: IOR throughput by request size (16 procs)",
+		Columns: []string{"read MB/s", "write MB/s"},
+	}
+	clusterCfg := cluster.Default()
+	clusterCfg.Seed = o.Seed
+	for _, reqSize := range []int64{128 << 10, 1024 << 10} {
+		cfg := o.iorConfig(o.Ranks, reqSize)
+		for _, stripe := range o.FixedStripes {
+			res, err := runIORFixed(clusterCfg, cfg, harl.StripePair{H: stripe, S: stripe})
+			if err != nil {
+				return nil, err
+			}
+			t.Add(fmt.Sprintf("req %dK / %dK", reqSize>>10, stripe>>10), res.ReadMBs(), res.WriteMBs())
+		}
+		rnd, err := runIORFixed(clusterCfg, cfg, o.randomPairs()[0])
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("req %dK / rand", reqSize>>10), rnd.ReadMBs(), rnd.WriteMBs())
+		hres, plan, err := harlIOR(o, clusterCfg, cfg, opAny)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("req %dK / HARL %v", reqSize>>10, planPair(plan)), hres.ReadMBs(), hres.WriteMBs())
+	}
+	return t, nil
+}
+
+// Fig10 reproduces "Throughputs of IOR with various file server
+// configurations": HServer:SServer ratios 7:1, 6:2 (default) and 2:6.
+func Fig10(o Options) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 10: IOR throughput by server ratio (512KB requests)",
+		Columns: []string{"read MB/s", "write MB/s"},
+	}
+	for _, ratio := range [][2]int{{7, 1}, {6, 2}, {2, 6}} {
+		clusterCfg := cluster.WithRatio(ratio[0], ratio[1])
+		clusterCfg.Seed = o.Seed
+		cfg := o.iorConfig(o.Ranks, 512<<10)
+		def, err := runIORFixed(clusterCfg, cfg, harl.StripePair{H: 64 << 10, S: 64 << 10})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d:%d 64K", ratio[0], ratio[1]), def.ReadMBs(), def.WriteMBs())
+		rnd, err := runIORFixed(clusterCfg, cfg, o.randomPairs()[0])
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d:%d rand", ratio[0], ratio[1]), rnd.ReadMBs(), rnd.WriteMBs())
+		hres, plan, err := harlIOR(o, clusterCfg, cfg, opAny)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d:%d HARL %v", ratio[0], ratio[1], planPair(plan)), hres.ReadMBs(), hres.WriteMBs())
+	}
+	return t, nil
+}
+
+// Fig11 reproduces "I/O throughputs with non-uniform workloads": the
+// modified four-region IOR file, where HARL's region division must give
+// each region its own stripes.
+func Fig11(o Options) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 11: non-uniform four-region IOR",
+		Columns: []string{"read MB/s", "write MB/s", "regions"},
+	}
+	clusterCfg := cluster.Default()
+	clusterCfg.Seed = o.Seed
+	mcfg := o.multiConfig()
+
+	for _, stripe := range o.FixedStripes {
+		res, err := runMultiFixed(clusterCfg, mcfg, harl.StripePair{H: stripe, S: stripe})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%dK", stripe>>10), res.ReadMBs(), res.WriteMBs(), 1)
+	}
+	rnd, err := runMultiFixed(clusterCfg, mcfg, o.randomPairs()[0])
+	if err != nil {
+		return nil, err
+	}
+	t.Add("rand", rnd.ReadMBs(), rnd.WriteMBs(), 1)
+
+	params, err := calibrated(clusterCfg, o.Probes)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize}.Analyze(mcfg.Trace())
+	if err != nil {
+		return nil, err
+	}
+	res, err := runMultiHARL(clusterCfg, mcfg, plan.RST)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("HARL", res.ReadMBs(), res.WriteMBs(), float64(len(plan.RST.Entries)))
+	return t, nil
+}
+
+// multiConfig scales the paper's 256MB/1GB/2GB/4GB four-region file to
+// the option's file size (the paper's total is 7.25 GB).
+func (o Options) multiConfig() ior.MultiConfig {
+	m := ior.DefaultMulti()
+	m.Ranks = o.Ranks
+	m.RanksPerNode = o.ranksPerNode(o.Ranks)
+	m.Seed = o.Seed
+	scale := float64(o.FileSize) / float64(16<<30)
+	for i := range m.Regions {
+		size := int64(float64(m.Regions[i].Size) * scale * 2)
+		// Keep each region large enough for every rank's slab.
+		if min := m.Regions[i].RequestSize * int64(o.Ranks) * 4; size < min {
+			size = min
+		}
+		m.Regions[i].Size = size
+	}
+	return m
+}
+
+func runMultiFixed(clusterCfg cluster.Config, cfg ior.MultiConfig, pair harl.StripePair) (ior.Result, error) {
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return ior.Result{}, err
+	}
+	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+	var f *mpiio.PlainFile
+	var createErr error
+	w.Run(func() {
+		w.CreatePlain("multi", fixedStriping(clusterCfg, pair), func(file *mpiio.PlainFile, err error) {
+			f, createErr = file, err
+		})
+	})
+	if createErr != nil {
+		return ior.Result{}, createErr
+	}
+	return ior.RunMulti(w, f, cfg)
+}
+
+func runMultiHARL(clusterCfg cluster.Config, cfg ior.MultiConfig, rst harl.RST) (ior.Result, error) {
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return ior.Result{}, err
+	}
+	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+	var f *mpiio.HARLFile
+	var createErr error
+	w.Run(func() {
+		w.CreateHARL("multi", &rst, func(file *mpiio.HARLFile, err error) {
+			f, createErr = file, err
+		})
+	})
+	if createErr != nil {
+		return ior.Result{}, createErr
+	}
+	return ior.RunMulti(w, f, cfg)
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"harl/internal/btio"
+	"harl/internal/cluster"
+	"harl/internal/cost"
+	"harl/internal/harl"
+	"harl/internal/ior"
+	"harl/internal/layout"
+	"harl/internal/mpiio"
+	"harl/internal/trace"
+)
+
+// Options scales and seeds the experiment drivers. The paper's runs use a
+// 16 GB shared file; the simulated experiments default to a proportional
+// 2 GB (load balance and stripe-size effects depend on request size and
+// count, not file span), and Quick shrinks further for unit tests.
+type Options struct {
+	// FileSize is the IOR shared-file size.
+	FileSize int64
+	// Ranks is the default IOR process count (the paper's is 16).
+	Ranks int
+	// ComputeNodes hosts the ranks (the paper uses 8).
+	ComputeNodes int
+	// FixedStripes is the fixed-size layout sweep (paper: 16 KB-2 MB).
+	FixedStripes []int64
+	// RandomLayouts is how many randomly-chosen stripe configurations to
+	// compare against (the paper's "randomly-chosen stripe" strategies).
+	RandomLayouts int
+	// Probes is the calibration probe count per device/op/size.
+	Probes int
+	// ChunkSize bounds HARL's region count via the fixed-size division
+	// comparison (the paper uses 64 MB on a 16 GB file; scaled runs scale
+	// it proportionally so the bound stays ~file/256).
+	ChunkSize int64
+	// BTIOClass builds the BTIO config for a process count; defaults to
+	// class A (the paper's). Quick uses class W.
+	BTIOClass func(ranks int) btio.Config
+	// BTIOStripes is the fixed-stripe comparison set for Fig. 12 (a
+	// subset of FixedStripes keeps the collective-I/O runs tractable).
+	BTIOStripes []int64
+	// Seed drives every stochastic choice.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's setup at 1/8 file scale.
+func DefaultOptions() Options {
+	return Options{
+		FileSize:      2 << 30,
+		Ranks:         16,
+		ComputeNodes:  8,
+		FixedStripes:  []int64{16 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20},
+		RandomLayouts: 3,
+		Probes:        1000,
+		ChunkSize:     8 << 20, // 2 GB file / 256, matching 64 MB on 16 GB
+		BTIOClass:     btio.ClassA,
+		BTIOStripes:   []int64{64 << 10, 256 << 10, 1 << 20},
+		Seed:          1,
+	}
+}
+
+// QuickOptions shrinks everything for unit tests and -short benches.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.FileSize = 128 << 20
+	o.FixedStripes = []int64{16 << 10, 64 << 10, 512 << 10}
+	o.RandomLayouts = 2
+	o.Probes = 200
+	o.ChunkSize = 1 << 20
+	o.BTIOStripes = []int64{64 << 10, 256 << 10}
+	o.BTIOClass = func(ranks int) btio.Config {
+		c := btio.ClassW(ranks)
+		c.TimeSteps = 25 // 5 snapshots
+		return c
+	}
+	return o
+}
+
+// ranksPerNode packs ranks onto the option's compute nodes.
+func (o Options) ranksPerNode(ranks int) int {
+	per := ranks / o.ComputeNodes
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// iorConfig builds the paper's IOR setup for a request size and rank
+// count at this option set's scale.
+func (o Options) iorConfig(ranks int, requestSize int64) ior.Config {
+	return ior.Config{
+		Ranks:        ranks,
+		RanksPerNode: o.ranksPerNode(ranks),
+		RequestSize:  requestSize,
+		FileSize:     o.FileSize,
+		Random:       true,
+		Seed:         o.Seed,
+	}
+}
+
+// randomPairs draws the "randomly-chosen stripe" layouts: (h, s) pairs on
+// Algorithm 2's 4 KB grid up to 2 MB.
+func (o Options) randomPairs() []harl.StripePair {
+	rng := rand.New(rand.NewSource(o.Seed + 42))
+	pairs := make([]harl.StripePair, o.RandomLayouts)
+	for i := range pairs {
+		h := (rng.Int63n(512) + 1) * 4096
+		s := (rng.Int63n(512) + 1) * 4096
+		pairs[i] = harl.StripePair{H: h, S: s}
+	}
+	return pairs
+}
+
+// fixedStriping expands a stripe pair into the cluster's striping.
+func fixedStriping(clusterCfg cluster.Config, pair harl.StripePair) layout.Striping {
+	return layout.Striping{M: clusterCfg.HServers, N: clusterCfg.SServers, H: pair.H, S: pair.S}
+}
+
+// runIORFixed runs cfg on a fresh testbed with the given striping.
+func runIORFixed(clusterCfg cluster.Config, cfg ior.Config, pair harl.StripePair) (ior.Result, error) {
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return ior.Result{}, err
+	}
+	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+	st := fixedStriping(clusterCfg, pair)
+	var f *mpiio.PlainFile
+	var createErr error
+	w.Run(func() {
+		w.CreatePlain("ior", st, func(file *mpiio.PlainFile, err error) {
+			f, createErr = file, err
+		})
+	})
+	if createErr != nil {
+		return ior.Result{}, createErr
+	}
+	return ior.Run(w, f, cfg)
+}
+
+// sortedCopy returns an offset-sorted copy of a trace.
+func sortedCopy(tr *trace.Trace) *trace.Trace {
+	s := &trace.Trace{Records: append([]trace.Record(nil), tr.Records...)}
+	s.SortByOffset()
+	return s
+}
+
+// calibrated returns the fitted cost parameters for a cluster config.
+func calibrated(clusterCfg cluster.Config, probes int) (cost.Params, error) {
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return cost.Params{}, err
+	}
+	return tb.Calibrate(probes)
+}

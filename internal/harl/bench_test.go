@@ -1,0 +1,67 @@
+package harl
+
+import (
+	"testing"
+
+	"harl/internal/device"
+)
+
+// BenchmarkAlgorithm2 measures the exhaustive stripe-pair search for a
+// 512 KB-average region — the off-line cost the paper argues is
+// acceptable (Section III-E).
+func BenchmarkAlgorithm2(b *testing.B) {
+	opt := Optimizer{Params: modelParams()}
+	tr := uniformTrace(256, 512<<10, device.Read, 1)
+	tr.SortByOffset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.OptimizeRegion(tr.Records, 0, 512<<10)
+	}
+}
+
+// BenchmarkTieredCoordinateDescent measures the multi-tier search on a
+// three-profile system.
+func BenchmarkTieredCoordinateDescent(b *testing.B) {
+	opt := TieredOptimizer{Params: threeTierParams()}
+	tr := uniformTrace(256, 512<<10, device.Read, 1)
+	tr.SortByOffset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.OptimizeRegion(tr.Records, 0, 512<<10)
+	}
+}
+
+// BenchmarkRequestCost measures one cost-model evaluation, the inner
+// loop of both searches.
+func BenchmarkRequestCost(b *testing.B) {
+	p := modelParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RequestCost(device.Read, int64(i)*4096, 512<<10, 32<<10, 160<<10)
+	}
+}
+
+// BenchmarkPlannerAnalyze measures the whole Analysis Phase on a
+// four-phase workload.
+func BenchmarkPlannerAnalyze(b *testing.B) {
+	// A coarser grid keeps the benchmark near a second per run; the
+	// default 4 KB step on a 4 MB-average region costs ~130k candidate
+	// pairs.
+	pl := Planner{Params: modelParams(), ChunkSize: 16 << 20, MaxRequests: 32, Step: 16 << 10}
+	tr := uniformTrace(0, 1, device.Read, 0)
+	tr.Records = tr.Records[:0]
+	off := int64(0)
+	for phase := 0; phase < 4; phase++ {
+		size := int64(64<<10) << uint(2*phase)
+		for i := 0; i < 200; i++ {
+			tr.Records = append(tr.Records, record(device.Read, off, size))
+			off += size
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Analyze(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package harl
+
+import (
+	"testing"
+
+	"harl/internal/cost"
+	"harl/internal/device"
+	"harl/internal/trace"
+)
+
+// threeTierParams: HDD + SATA-SSD + NVMe.
+func threeTierParams() cost.MultiParams {
+	return cost.MultiParams{
+		NetUnit: 1.0 / (117 << 20),
+		Tiers: []cost.TierParams{
+			{Name: "hdd", Count: 6,
+				ReadAlphaMin: 3e-4, ReadAlphaMax: 7e-4, ReadBeta: 1.0 / (20 << 20),
+				WriteAlphaMin: 3e-4, WriteAlphaMax: 7e-4, WriteBeta: 1.0 / (19 << 20)},
+			{Name: "ssd", Count: 1,
+				ReadAlphaMin: 2e-4, ReadAlphaMax: 4e-4, ReadBeta: 1.0 / (200 << 20),
+				WriteAlphaMin: 2e-4, WriteAlphaMax: 4e-4, WriteBeta: 1.0 / (180 << 20)},
+			{Name: "nvme", Count: 1,
+				ReadAlphaMin: 5e-5, ReadAlphaMax: 1e-4, ReadBeta: 1.0 / (800 << 20),
+				WriteAlphaMin: 5e-5, WriteAlphaMax: 1e-4, WriteBeta: 1.0 / (600 << 20)},
+		},
+	}
+}
+
+func TestTieredOptimizerTwoTierMatchesAlgorithm2(t *testing.T) {
+	// On a two-tier system, coordinate descent must reach (at least) the
+	// quality of Algorithm 2's exhaustive grid.
+	params := modelParams()
+	tr := uniformTrace(64, 512<<10, device.Read, 21)
+	tr.SortByOffset()
+
+	pair, exhaustive := Optimizer{Params: params}.OptimizeRegion(tr.Records, 0, 512<<10)
+	stripes, descent := TieredOptimizer{Params: cost.MultiOf(params)}.OptimizeRegion(tr.Records, 0, 512<<10)
+	if len(stripes) != 2 {
+		t.Fatalf("stripes = %v", stripes)
+	}
+	if descent > exhaustive*1.02 {
+		t.Fatalf("coordinate descent cost %v materially worse than Algorithm 2 %v (pair %v vs %v)",
+			descent, exhaustive, stripes, pair)
+	}
+}
+
+func TestTieredOptimizerOrdersStripesBySpeed(t *testing.T) {
+	// Three tiers, faster tiers should not get smaller stripes than the
+	// slowest tier: the optimum shifts bytes toward fast devices.
+	opt := TieredOptimizer{Params: threeTierParams()}
+	tr := uniformTrace(64, 512<<10, device.Read, 22)
+	tr.SortByOffset()
+	stripes, c := opt.OptimizeRegion(tr.Records, 0, 512<<10)
+	if len(stripes) != 3 || c <= 0 {
+		t.Fatalf("stripes = %v cost %v", stripes, c)
+	}
+	if stripes[1] < stripes[0] || stripes[2] < stripes[0] {
+		t.Fatalf("faster tiers got smaller stripes than HDD: %v", stripes)
+	}
+	if stripes[1] == 0 && stripes[2] == 0 {
+		t.Fatalf("optimum ignores the fast tiers: %v", stripes)
+	}
+}
+
+func TestTieredOptimizerSkipsEmptyTiers(t *testing.T) {
+	params := threeTierParams()
+	params.Tiers[1].Count = 0
+	opt := TieredOptimizer{Params: params}
+	tr := uniformTrace(32, 256<<10, device.Write, 23)
+	tr.SortByOffset()
+	stripes, _ := opt.OptimizeRegion(tr.Records, 0, 256<<10)
+	if stripes[1] != 0 {
+		t.Fatalf("empty tier received a stripe: %v", stripes)
+	}
+}
+
+func TestTieredOptimizerPanics(t *testing.T) {
+	opt := TieredOptimizer{Params: threeTierParams()}
+	mustPanic(t, func() { opt.OptimizeRegion(nil, 0, 512) })
+	bad := TieredOptimizer{Params: cost.MultiParams{}}
+	recs := uniformTrace(4, 4096, device.Read, 24).Records
+	mustPanic(t, func() { bad.OptimizeRegion(recs, 0, 4096) })
+	neg := TieredOptimizer{Params: threeTierParams(), Step: -4}
+	mustPanic(t, func() { neg.OptimizeRegion(recs, 0, 4096) })
+}
+
+func TestTieredRSTValidate(t *testing.T) {
+	good := &TieredRST{
+		Counts: []int{6, 1, 1},
+		Entries: []TieredRSTEntry{
+			{Offset: 0, End: 100, Stripes: []int64{4096, 8192, 16384}},
+			{Offset: 100, End: 200, Stripes: []int64{0, 8192, 16384}},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*TieredRST{
+		{},
+		{Counts: []int{1}, Entries: []TieredRSTEntry{{Offset: 0, End: 0, Stripes: []int64{1}}}},
+		{Counts: []int{1}, Entries: []TieredRSTEntry{{Offset: 0, End: 10, Stripes: []int64{1, 2}}}},
+		{Counts: []int{1}, Entries: []TieredRSTEntry{{Offset: 0, End: 10, Stripes: []int64{-1}}}},
+		{Counts: []int{1}, Entries: []TieredRSTEntry{{Offset: 0, End: 10, Stripes: []int64{0}}}},
+		{Counts: []int{1}, Entries: []TieredRSTEntry{{Offset: 5, End: 10, Stripes: []int64{1}}}},
+		{Counts: []int{1}, Entries: []TieredRSTEntry{
+			{Offset: 0, End: 10, Stripes: []int64{1}},
+			{Offset: 20, End: 30, Stripes: []int64{1}},
+		}},
+	}
+	for i, rst := range bad {
+		if rst.Validate() == nil {
+			t.Errorf("bad tiered RST %d accepted", i)
+		}
+	}
+}
+
+func TestTieredPlannerMultiPhase(t *testing.T) {
+	// A two-phase workload on a three-tier system: the planner must find
+	// both regions and give each a valid per-tier assignment.
+	tr := &trace.Trace{}
+	off := int64(0)
+	for i := 0; i < 80; i++ {
+		tr.Records = append(tr.Records, record(device.Read, off, 2<<20))
+		off += 2 << 20
+	}
+	for i := 0; i < 80; i++ {
+		tr.Records = append(tr.Records, record(device.Write, off, 64<<10))
+		off += 64 << 10
+	}
+	pl := TieredPlanner{Params: threeTierParams(), ChunkSize: 16 << 20, MaxRequests: 32}
+	plan, err := pl.Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.RST.Entries) < 2 {
+		t.Fatalf("phases not split: %d entries", len(plan.RST.Entries))
+	}
+	if err := plan.RST.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.ModelCost <= 0 {
+		t.Fatalf("model cost = %v", plan.ModelCost)
+	}
+}
+
+func TestTieredPlannerErrors(t *testing.T) {
+	pl := TieredPlanner{Params: threeTierParams()}
+	if _, err := pl.Analyze(nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	bad := TieredPlanner{}
+	if _, err := bad.Analyze(uniformTrace(4, 4096, device.Read, 25)); err == nil {
+		t.Fatal("zero params accepted")
+	}
+}
+
+func record(op device.Op, off, size int64) trace.Record {
+	return trace.Record{Op: op, Offset: off, Size: size, End: 1}
+}

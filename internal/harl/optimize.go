@@ -1,0 +1,182 @@
+// Package harl implements the paper's contribution: the
+// heterogeneity-aware region-level (HARL) data layout scheme.
+//
+// HARL proceeds in three phases (Fig. 3):
+//
+//  1. Tracing — an instrumented run collects every file request
+//     (package trace);
+//  2. Analysis — the file is divided into regions of similar workload
+//     (package region, Algorithm 1), and for each region the optimal
+//     stripe-size pair (H for HServers, S for SServers) is found by
+//     exhaustive grid search scored with the analytical cost model
+//     (package cost, Algorithm 2). The result is the Region Stripe Table
+//     (RST), with adjacent same-optimum regions merged;
+//  3. Placing — the I/O middleware (package mpiio) maps each region to
+//     its own physical PFS file striped with the region's pair, recorded
+//     in the region-to-file table (R2F).
+//
+// This package owns phase 2 and the two tables.
+package harl
+
+import (
+	"fmt"
+	"math"
+
+	"harl/internal/cost"
+	"harl/internal/device"
+	"harl/internal/trace"
+)
+
+// StripePair is one candidate layout for a region: stripe size H on every
+// HServer and S on every SServer. H == 0 places the region on SServers
+// only; S == 0 on HServers only.
+type StripePair struct {
+	H int64
+	S int64
+}
+
+// String renders the pair the way the paper labels layouts, e.g. "36K-148K".
+func (sp StripePair) String() string {
+	return fmt.Sprintf("%s-%s", kb(sp.H), kb(sp.S))
+}
+
+func kb(b int64) string {
+	if b%1024 == 0 {
+		return fmt.Sprintf("%dK", b/1024)
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// DefaultStep is Algorithm 2's stripe-size grid granularity (4 KB). Finer
+// steps give more precise stripe sizes at more search cost.
+const DefaultStep int64 = 4 << 10
+
+// DefaultMaxRequests bounds how many of a region's requests Algorithm 2
+// scores per candidate pair. Regions with more requests are sampled with
+// an even stride; request patterns within a region are homogeneous by
+// construction (Algorithm 1 split them on workload change), so a sample
+// preserves the optimum while keeping the off-line search fast.
+const DefaultMaxRequests = 128
+
+// Optimizer runs Algorithm 2: exhaustive (h, s) grid search scored by the
+// cost model.
+type Optimizer struct {
+	Params cost.Params
+	// Step is the grid granularity; 0 means DefaultStep.
+	Step int64
+	// MaxRequests caps the scored requests per region; 0 means
+	// DefaultMaxRequests, negative means no cap.
+	MaxRequests int
+}
+
+func (o Optimizer) step() int64 {
+	if o.Step == 0 {
+		return DefaultStep
+	}
+	return o.Step
+}
+
+// OptimizeRegion finds the stripe pair minimizing the summed model cost of
+// the region's requests (offsets are file-absolute; base is the region's
+// start offset, subtracted to get region-local offsets, since each region
+// becomes its own physical file). avg is the region's average request
+// size, the R̄ bound of Algorithm 2's loops. It returns the best pair and
+// its total model cost.
+func (o Optimizer) OptimizeRegion(records []trace.Record, base int64, avg float64) (StripePair, float64) {
+	if len(records) == 0 {
+		panic("harl: optimizing a region with no requests")
+	}
+	if o.Step != 0 && o.Step < 0 {
+		panic(fmt.Sprintf("harl: negative step %d", o.Step))
+	}
+	step := o.step()
+	sample := o.sampleRecords(records)
+
+	// R̄ rounded down to the grid, but at least one step so degenerate
+	// regions (avg below the grid) still search {0, step}.
+	rBar := int64(avg)
+	rBar -= rBar % step
+	if rBar < step {
+		rBar = step
+	}
+
+	best := StripePair{H: 0, S: step}
+	bestCost := math.Inf(1)
+	evaluate := func(p StripePair) {
+		c := o.regionCost(sample, base, p)
+		if c < bestCost {
+			bestCost = c
+			best = p
+		}
+	}
+
+	switch {
+	case o.Params.N == 0:
+		// Homogeneous HServer system: search h alone.
+		for h := step; h <= rBar; h += step {
+			evaluate(StripePair{H: h, S: 0})
+		}
+	case o.Params.M == 0:
+		// Homogeneous SServer system: search s alone.
+		for s := step; s <= rBar; s += step {
+			evaluate(StripePair{H: 0, S: s})
+		}
+	default:
+		// Algorithm 2: h from 0 (SServer-only placement) to R̄; s always
+		// strictly larger than h, up to R̄ (single-SServer extreme).
+		for h := int64(0); h <= rBar; h += step {
+			for s := h + step; s <= rBar; s += step {
+				evaluate(StripePair{H: h, S: s})
+			}
+		}
+	}
+	return best, bestCost
+}
+
+// regionCost sums the per-request model cost (Eq. 7 for reads, Eq. 8 for
+// writes) under the candidate pair.
+func (o Optimizer) regionCost(records []trace.Record, base int64, p StripePair) float64 {
+	var total float64
+	for _, r := range records {
+		local := r.Offset - base
+		if local < 0 {
+			local = 0
+		}
+		total += o.Params.RequestCost(r.Op, local, r.Size, p.H, p.S)
+	}
+	return total
+}
+
+// sampleRecords returns an even-stride sample of at most MaxRequests
+// records (all of them when the cap is negative or the region is small).
+func (o Optimizer) sampleRecords(records []trace.Record) []trace.Record {
+	maxReq := o.MaxRequests
+	if maxReq == 0 {
+		maxReq = DefaultMaxRequests
+	}
+	if maxReq < 0 || len(records) <= maxReq {
+		return records
+	}
+	out := make([]trace.Record, 0, maxReq)
+	stride := float64(len(records)) / float64(maxReq)
+	for i := 0; i < maxReq; i++ {
+		out = append(out, records[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// ReadWriteMix reports the fraction of a region's bytes moved by writes;
+// diagnostic output for the analysis reports.
+func ReadWriteMix(records []trace.Record) float64 {
+	var total, written int64
+	for _, r := range records {
+		total += r.Size
+		if r.Op == device.Write {
+			written += r.Size
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(written) / float64(total)
+}

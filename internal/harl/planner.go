@@ -1,0 +1,112 @@
+package harl
+
+import (
+	"fmt"
+
+	"harl/internal/cost"
+	"harl/internal/region"
+	"harl/internal/trace"
+)
+
+// Planner is the whole Analysis Phase: trace in, Region Stripe Table out.
+type Planner struct {
+	// Params is the calibrated cost model (Section III-G measures these
+	// against one server of each class and a node pair).
+	Params cost.Params
+	// Step is Algorithm 2's stripe grid; 0 means DefaultStep (4 KB).
+	Step int64
+	// ChunkSize bounds the region count via the fixed-size division
+	// comparison of Section III-C; 0 means region.DefaultChunkSize (64 MB).
+	ChunkSize int64
+	// MaxRequests caps the requests scored per region (see Optimizer).
+	MaxRequests int
+	// Threshold overrides the initial CV threshold; 0 means
+	// region.DefaultThreshold (100%).
+	Threshold float64
+}
+
+// PlannedRegion is one analyzed region with its chosen layout.
+type PlannedRegion struct {
+	region.Region
+	Stripes   StripePair
+	ModelCost float64 // summed model cost of the scored requests
+	WriteMix  float64 // fraction of region bytes written
+}
+
+// Plan is the Analysis Phase output: the regions, the RST they induce and
+// the CV threshold finally used.
+type Plan struct {
+	Regions   []PlannedRegion
+	RST       RST
+	Threshold float64
+}
+
+// Analyze runs region division (Algorithm 1 with adaptive threshold) and
+// per-region stripe optimization (Algorithm 2) over a trace. The trace is
+// copied and offset-sorted internally; the input is not modified.
+func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
+	if err := pl.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("harl: empty trace")
+	}
+	regions, threshold, groups, err := divideWithThreshold(tr, pl.ChunkSize, pl.Threshold)
+	if err != nil {
+		return nil, err
+	}
+
+	opt := Optimizer{Params: pl.Params, Step: pl.Step, MaxRequests: pl.MaxRequests}
+	plan := &Plan{Threshold: threshold}
+	for i, reg := range regions {
+		if len(groups[i]) == 0 {
+			// A region with no requests can only arise from a malformed
+			// division; fail loudly rather than striping blind.
+			return nil, fmt.Errorf("harl: region %d (%v) has no requests", i, reg)
+		}
+		pair, c := opt.OptimizeRegion(groups[i], reg.Offset, reg.AvgSize)
+		plan.Regions = append(plan.Regions, PlannedRegion{
+			Region:    reg,
+			Stripes:   pair,
+			ModelCost: c,
+			WriteMix:  ReadWriteMix(groups[i]),
+		})
+		plan.RST.Entries = append(plan.RST.Entries, RSTEntry{
+			Offset: reg.Offset,
+			End:    reg.End,
+			H:      pair.H,
+			S:      pair.S,
+		})
+	}
+	plan.RST.Merge()
+	if err := plan.RST.Validate(); err != nil {
+		return nil, fmt.Errorf("harl: produced invalid RST: %w", err)
+	}
+	return plan, nil
+}
+
+// divideForPlanning is the shared Analysis Phase front half: copy, sort
+// by offset, divide adaptively, and group requests per region.
+func divideForPlanning(tr *trace.Trace, chunkSize int64) ([]region.Region, float64, [][]trace.Record, error) {
+	return divideWithThreshold(tr, chunkSize, 0)
+}
+
+// divideWithThreshold is divideForPlanning with an optional fixed CV
+// threshold (0 selects the adaptive loop).
+func divideWithThreshold(tr *trace.Trace, chunkSize int64, threshold float64) ([]region.Region, float64, [][]trace.Record, error) {
+	sorted := &trace.Trace{Records: append([]trace.Record(nil), tr.Records...)}
+	sorted.SortByOffset()
+	chunk := chunkSize
+	if chunk == 0 {
+		chunk = region.DefaultChunkSize
+	}
+	var regions []region.Region
+	used := threshold
+	if threshold == 0 {
+		regions, used = region.DivideAdaptive(sorted.Records, chunk, 0)
+	} else {
+		regions = region.Divide(sorted.Records, threshold, 0)
+	}
+	groups := region.AssignRequests(regions, sorted.Records)
+	return regions, used, groups, nil
+}

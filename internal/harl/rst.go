@@ -1,0 +1,191 @@
+package harl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RSTEntry is one row of the Region Stripe Table (paper Fig. 6): a file
+// region and the optimal stripe sizes chosen for it.
+type RSTEntry struct {
+	Offset int64 // first byte of the region
+	End    int64 // exclusive end
+	H      int64 // HServer stripe size
+	S      int64 // SServer stripe size
+}
+
+// Pair returns the entry's stripe pair.
+func (e RSTEntry) Pair() StripePair { return StripePair{H: e.H, S: e.S} }
+
+// RST is the Region Stripe Table: the metadata HARL's placing phase
+// consults to stripe each region. Entries are contiguous, sorted by
+// offset, and cover [0, End of last entry).
+type RST struct {
+	Entries []RSTEntry
+}
+
+// Validate checks contiguity, ordering and stripe sanity.
+func (t *RST) Validate() error {
+	for i, e := range t.Entries {
+		if e.End <= e.Offset {
+			return fmt.Errorf("harl: RST entry %d has empty range [%d,%d)", i, e.Offset, e.End)
+		}
+		if e.H < 0 || e.S < 0 || e.H+e.S == 0 {
+			return fmt.Errorf("harl: RST entry %d has unusable stripes %v", i, e.Pair())
+		}
+		if i == 0 {
+			if e.Offset != 0 {
+				return fmt.Errorf("harl: RST must start at offset 0, got %d", e.Offset)
+			}
+		} else if e.Offset != t.Entries[i-1].End {
+			return fmt.Errorf("harl: RST entry %d not contiguous: starts %d, previous ends %d",
+				i, e.Offset, t.Entries[i-1].End)
+		}
+	}
+	return nil
+}
+
+// Extent returns the end of the last region (the covered address space).
+func (t *RST) Extent() int64 {
+	if len(t.Entries) == 0 {
+		return 0
+	}
+	return t.Entries[len(t.Entries)-1].End
+}
+
+// Lookup returns the index of the entry containing offset. Offsets beyond
+// the table's extent map to the last entry, mirroring how the paper's MDS
+// serves requests past the traced range with the final region's layout.
+func (t *RST) Lookup(offset int64) int {
+	if len(t.Entries) == 0 {
+		panic("harl: lookup in empty RST")
+	}
+	if offset < 0 {
+		panic(fmt.Sprintf("harl: negative offset %d", offset))
+	}
+	i := sort.Search(len(t.Entries), func(i int) bool {
+		return t.Entries[i].End > offset
+	})
+	if i == len(t.Entries) {
+		i = len(t.Entries) - 1
+	}
+	return i
+}
+
+// Merge combines adjacent regions with identical stripe pairs (Section
+// III-E: "if adjacent regions have the same optimal stripe sizes, the two
+// regions are combined"), reducing metadata overhead. It returns the
+// number of entries removed.
+func (t *RST) Merge() int {
+	if len(t.Entries) < 2 {
+		return 0
+	}
+	out := t.Entries[:1]
+	removed := 0
+	for _, e := range t.Entries[1:] {
+		last := &out[len(out)-1]
+		if e.H == last.H && e.S == last.S {
+			last.End = e.End
+			removed++
+			continue
+		}
+		out = append(out, e)
+	}
+	t.Entries = out
+	return removed
+}
+
+// rstHeader versions the on-disk format.
+const rstHeader = "#harl-rst v1"
+
+// Write encodes the table as text: "offset end h s" per line. The format
+// is the on-disk RST the paper stores alongside the application.
+func (t *RST) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, rstHeader); err != nil {
+		return err
+	}
+	for _, e := range t.Entries {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", e.Offset, e.End, e.H, e.S); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRST decodes a table written by Write and validates it.
+func ReadRST(r io.Reader) (*RST, error) {
+	sc := bufio.NewScanner(r)
+	t := &RST{}
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if line == rstHeader {
+				sawHeader = true
+			}
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("harl: RST line %d: missing %q header", lineNo, rstHeader)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("harl: RST line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		var e RSTEntry
+		var err error
+		for i, dst := range []*int64{&e.Offset, &e.End, &e.H, &e.S} {
+			if *dst, err = strconv.ParseInt(fields[i], 10, 64); err != nil {
+				return nil, fmt.Errorf("harl: RST line %d field %d: %w", lineNo, i, err)
+			}
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// R2FEntry maps one RST region to the physical PFS file storing it —
+// the region-to-file mapping table of Section III-G.
+type R2FEntry struct {
+	Region int    // index into the RST
+	File   string // physical file name in the PFS
+}
+
+// R2F is the region-to-file table.
+type R2F struct {
+	Entries []R2FEntry
+}
+
+// BuildR2F derives the canonical mapping for a logical file name: region
+// i of "name" is stored in "name.r<i>".
+func BuildR2F(logical string, rst *RST) *R2F {
+	t := &R2F{}
+	for i := range rst.Entries {
+		t.Entries = append(t.Entries, R2FEntry{Region: i, File: fmt.Sprintf("%s.r%d", logical, i)})
+	}
+	return t
+}
+
+// File returns the physical file for a region index.
+func (t *R2F) File(region int) string {
+	if region < 0 || region >= len(t.Entries) {
+		panic(fmt.Sprintf("harl: R2F region %d out of range [0,%d)", region, len(t.Entries)))
+	}
+	return t.Entries[region].File
+}

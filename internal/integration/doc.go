@@ -1,0 +1,7 @@
+// Package integration holds cross-package scenario tests: full
+// trace→analyze→place→measure pipelines, failure injection (degraded
+// servers), persistence round trips through the on-disk formats, and the
+// multi-application workload separation the paper discusses in Section
+// IV-D. The package itself exports nothing; all content lives in the
+// test files.
+package integration

@@ -1,0 +1,229 @@
+package integration
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"harl/internal/cluster"
+	"harl/internal/harl"
+	"harl/internal/ior"
+	"harl/internal/layout"
+	"harl/internal/mpiio"
+	"harl/internal/trace"
+)
+
+// pipelineWorkload is the shared small IOR setup for pipeline tests.
+func pipelineWorkload() ior.Config {
+	return ior.Config{
+		Ranks:        8,
+		RanksPerNode: 2,
+		RequestSize:  256 << 10,
+		FileSize:     64 << 20,
+		Random:       true,
+		Seed:         17,
+	}
+}
+
+// TestFullPipelinePersistedRST drives the complete three-phase lifecycle
+// through the on-disk artifacts: an instrumented run collects a trace,
+// the trace round-trips through the IOSIG text format, analysis produces
+// an RST that round-trips through its format, and the placed file serves
+// the workload with verified data integrity.
+func TestFullPipelinePersistedRST(t *testing.T) {
+	// Phase 1: traced run on the default layout.
+	tb := cluster.MustNew(cluster.Default())
+	w := mpiio.NewWorld(tb.FS, 8, 2)
+	collector := trace.NewCollector()
+	var traced *mpiio.TracingFile
+	w.Run(func() {
+		w.CreatePlain("app", layout.Fixed(6, 2, 64<<10), func(f *mpiio.PlainFile, err error) {
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			traced = w.Trace(f, collector)
+		})
+	})
+	cfg := pipelineWorkload()
+	if _, err := ior.Run(w, traced, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist and reload the trace.
+	var traceFile bytes.Buffer
+	if err := collector.Trace().Write(&traceFile); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := trace.Read(&traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != collector.Trace().Len() {
+		t.Fatalf("trace round trip lost records: %d vs %d", reloaded.Len(), collector.Trace().Len())
+	}
+
+	// Phase 2: calibrate + analyze, persist and reload the RST.
+	params, err := tb.Calibrate(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := harl.Planner{Params: params, ChunkSize: 1 << 20}.Analyze(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rstFile bytes.Buffer
+	if err := plan.RST.Write(&rstFile); err != nil {
+		t.Fatal(err)
+	}
+	rst, err := harl.ReadRST(&rstFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: place on a fresh system and verify data through it.
+	tb2 := cluster.MustNew(cluster.Default())
+	w2 := mpiio.NewWorld(tb2.FS, 8, 2)
+	payload := make([]byte, 2<<20)
+	rand.New(rand.NewSource(99)).Read(payload)
+	var got []byte
+	w2.Run(func() {
+		w2.CreateHARL("app", rst, func(f *mpiio.HARLFile, err error) {
+			if err != nil {
+				t.Fatalf("place: %v", err)
+			}
+			f.WriteAt(0, 12345, payload, func(error) {
+				f.ReadAt(3, 12345, int64(len(payload)), func(data []byte, _ error) { got = data })
+			})
+		})
+	})
+	if !bytes.Equal(got, payload) {
+		t.Fatal("placed file corrupted data")
+	}
+}
+
+// TestDegradedHServerHurtsButDoesNotBreak injects a 20x-slow HServer and
+// checks that both the fixed and HARL layouts keep serving correctly,
+// with throughput degraded.
+func TestDegradedHServerHurtsButDoesNotBreak(t *testing.T) {
+	cfg := pipelineWorkload()
+	run := func(slow bool) ior.Result {
+		tb := cluster.MustNew(cluster.Default())
+		if slow {
+			tb.FS.Servers()[0].SlowFactor = 20
+		}
+		w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+		var f *mpiio.PlainFile
+		w.Run(func() {
+			w.CreatePlain("f", layout.Fixed(6, 2, 64<<10), func(file *mpiio.PlainFile, err error) {
+				if err != nil {
+					t.Fatalf("create: %v", err)
+				}
+				f = file
+			})
+		})
+		res, err := ior.Run(w, f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	healthy := run(false)
+	degraded := run(true)
+	if degraded.ReadMBs() >= healthy.ReadMBs() {
+		t.Fatalf("degraded server did not hurt: %.1f vs %.1f MB/s", degraded.ReadMBs(), healthy.ReadMBs())
+	}
+	if degraded.ReadMBs() <= 0 {
+		t.Fatal("degraded system stopped serving")
+	}
+}
+
+// TestSSDOnlyLayoutImmuneToDegradedHServer: a {0, s} layout stores
+// nothing on HServers, so a dying HServer must not affect it — the
+// placement isolation HARL's SServer-only optima provide.
+func TestSSDOnlyLayoutImmuneToDegradedHServer(t *testing.T) {
+	cfg := pipelineWorkload()
+	run := func(slow bool) ior.Result {
+		tb := cluster.MustNew(cluster.Default())
+		if slow {
+			tb.FS.Servers()[0].SlowFactor = 50
+		}
+		w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+		var f *mpiio.PlainFile
+		w.Run(func() {
+			w.CreatePlain("f", layout.Striping{M: 6, N: 2, H: 0, S: 64 << 10},
+				func(file *mpiio.PlainFile, err error) { f = file })
+		})
+		res, err := ior.Run(w, f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	healthy := run(false)
+	degraded := run(true)
+	if degraded.ReadTime != healthy.ReadTime || degraded.WriteTime != healthy.WriteTime {
+		t.Fatalf("SServer-only layout touched the degraded HServer: %v vs %v",
+			degraded.ReadTime, healthy.ReadTime)
+	}
+}
+
+// TestMultiApplicationSeparatePlans reproduces the Section IV-D
+// discussion: two applications with very different request sizes run
+// against the same hybrid PFS, each with its own traced workload and its
+// own HARL plan on its own file. Both must beat their 64 KB-default
+// counterparts.
+func TestMultiApplicationSeparatePlans(t *testing.T) {
+	appA := ior.Config{Ranks: 4, RanksPerNode: 2, RequestSize: 128 << 10, FileSize: 16 << 20, Random: true, Seed: 5}
+	appB := ior.Config{Ranks: 4, RanksPerNode: 2, RequestSize: 1 << 20, FileSize: 32 << 20, Random: true, Seed: 6}
+
+	tbCal := cluster.MustNew(cluster.Default())
+	params, err := tbCal.Calibrate(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planA, err := harl.Planner{Params: params, ChunkSize: 1 << 20}.Analyze(appA.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := harl.Planner{Params: params, ChunkSize: 1 << 20}.Analyze(appB.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plans must differ: the workloads have different optima.
+	pairA := planA.Regions[0].Stripes
+	pairB := planB.Regions[0].Stripes
+	if pairA == pairB {
+		t.Logf("warning: both applications got %v; distinct optima expected", pairA)
+	}
+
+	// Run both apps back to back on one shared system (their files
+	// coexist on the same servers), under default vs per-app HARL plans.
+	type outcome struct{ readA, readB float64 }
+	run := func(useHARL bool) outcome {
+		tb := cluster.MustNew(cluster.Default())
+		wA := mpiio.NewWorldNamed(tb.FS, "a", appA.Ranks, appA.RanksPerNode)
+		wB := mpiio.NewWorldNamed(tb.FS, "b", appB.Ranks, appB.RanksPerNode)
+		var fA, fB mpiio.PhantomFile
+		wA.Run(func() {
+			if useHARL {
+				wA.CreateHARL("appA", &planA.RST, func(f *mpiio.HARLFile, err error) { fA = f })
+				wB.CreateHARL("appB", &planB.RST, func(f *mpiio.HARLFile, err error) { fB = f })
+			} else {
+				wA.CreatePlain("appA", layout.Fixed(6, 2, 64<<10), func(f *mpiio.PlainFile, err error) { fA = f })
+				wB.CreatePlain("appB", layout.Fixed(6, 2, 64<<10), func(f *mpiio.PlainFile, err error) { fB = f })
+			}
+		})
+		resA, errA := ior.Run(wA, fA, appA)
+		resB, errB := ior.Run(wB, fB, appB)
+		if errA != nil || errB != nil {
+			t.Fatalf("runs failed: %v, %v", errA, errB)
+		}
+		return outcome{readA: resA.ReadMBs(), readB: resB.ReadMBs()}
+	}
+	def := run(false)
+	opt := run(true)
+	if opt.readA <= def.readA || opt.readB <= def.readB {
+		t.Fatalf("per-application HARL plans did not both win: A %.1f->%.1f, B %.1f->%.1f",
+			def.readA, opt.readA, def.readB, opt.readB)
+	}
+}

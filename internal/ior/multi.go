@@ -1,0 +1,185 @@
+package ior
+
+import (
+	"fmt"
+	"math/rand"
+
+	"harl/internal/device"
+	"harl/internal/mpiio"
+	"harl/internal/sim"
+	"harl/internal/trace"
+)
+
+// The paper's Section IV-B-5 modifies IOR to drive a non-uniform workload:
+// the shared file consists of several regions, each accessed with its own
+// request size. MultiConfig reproduces that modified benchmark.
+
+// RegionSpec is one region of the non-uniform file.
+type RegionSpec struct {
+	Size        int64 // region length in bytes
+	RequestSize int64 // request size used inside this region
+}
+
+// MultiConfig parameterizes the modified IOR run.
+type MultiConfig struct {
+	Ranks        int
+	RanksPerNode int
+	Regions      []RegionSpec
+	Seed         int64
+	// RequestsPerRankPerRegion caps requests; 0 covers each region's
+	// rank share once.
+	RequestsPerRankPerRegion int
+}
+
+// DefaultMulti is the paper's four-region workload: regions of 256 MB,
+// 1 GB, 2 GB and 4 GB, with request sizes growing with the region (the
+// paper varies them per region; 64 KB to 2 MB spans its Fig. 1(b) sweep).
+func DefaultMulti() MultiConfig {
+	return MultiConfig{
+		Ranks:        16,
+		RanksPerNode: 2,
+		Regions: []RegionSpec{
+			{Size: 256 << 20, RequestSize: 64 << 10},
+			{Size: 1 << 30, RequestSize: 256 << 10},
+			{Size: 2 << 30, RequestSize: 512 << 10},
+			{Size: 4 << 30, RequestSize: 2 << 20},
+		},
+		Seed: 1,
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c MultiConfig) Validate() error {
+	if c.Ranks <= 0 || c.RanksPerNode <= 0 {
+		return fmt.Errorf("ior: invalid ranks %d x %d", c.Ranks, c.RanksPerNode)
+	}
+	if len(c.Regions) == 0 {
+		return fmt.Errorf("ior: no regions")
+	}
+	for i, reg := range c.Regions {
+		if reg.RequestSize <= 0 || reg.Size < reg.RequestSize*int64(c.Ranks) {
+			return fmt.Errorf("ior: region %d unusable: %+v with %d ranks", i, reg, c.Ranks)
+		}
+	}
+	if c.RequestsPerRankPerRegion < 0 {
+		return fmt.Errorf("ior: negative request cap")
+	}
+	return nil
+}
+
+// FileSize returns the total file extent.
+func (c MultiConfig) FileSize() int64 {
+	var total int64
+	for _, r := range c.Regions {
+		total += r.Size
+	}
+	return total
+}
+
+// multiReq is one planned request.
+type multiReq struct {
+	off  int64
+	size int64
+}
+
+// plan returns per-rank request sequences across all regions, in region
+// order (the application walks the file front to back, switching request
+// size at each region boundary).
+func (c MultiConfig) plan() [][]multiReq {
+	plans := make([][]multiReq, c.Ranks)
+	base := int64(0)
+	for ri, reg := range c.Regions {
+		slab := reg.Size / int64(c.Ranks)
+		perRank := int(slab / reg.RequestSize)
+		if c.RequestsPerRankPerRegion > 0 && c.RequestsPerRankPerRegion < perRank {
+			perRank = c.RequestsPerRankPerRegion
+		}
+		if perRank == 0 {
+			perRank = 1
+		}
+		for r := 0; r < c.Ranks; r++ {
+			rng := rand.New(rand.NewSource(c.Seed + int64(ri)*104729 + int64(r)*7919))
+			slabBase := base + int64(r)*slab
+			slots := int(slab / reg.RequestSize)
+			for i := 0; i < perRank; i++ {
+				slot := int64(rng.Intn(slots))
+				plans[r] = append(plans[r], multiReq{off: slabBase + slot*reg.RequestSize, size: reg.RequestSize})
+			}
+		}
+		base += reg.Size
+	}
+	return plans
+}
+
+// Trace synthesizes the tracing-phase trace for this workload (both
+// phases, write then read).
+func (c MultiConfig) Trace() *trace.Trace {
+	tr := &trace.Trace{}
+	ts := sim.Time(0)
+	for _, op := range []device.Op{device.Write, device.Read} {
+		for r, reqs := range c.plan() {
+			for _, rq := range reqs {
+				tr.Records = append(tr.Records, trace.Record{
+					PID: 1000 + r, Rank: r, FD: 3, Op: op,
+					Offset: rq.off, Size: rq.size,
+					Start: ts, End: ts + 1,
+				})
+				ts++
+			}
+		}
+	}
+	return tr
+}
+
+// RunMulti executes the non-uniform workload: write phase then read
+// phase, each rank walking its per-region requests closed-loop.
+func RunMulti(w *mpiio.World, f mpiio.PhantomFile, cfg MultiConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if w.Ranks() != cfg.Ranks {
+		return Result{}, fmt.Errorf("ior: world has %d ranks, config wants %d", w.Ranks(), cfg.Ranks)
+	}
+	plans := cfg.plan()
+	var totalBytes int64
+	for _, reqs := range plans {
+		for _, rq := range reqs {
+			totalBytes += rq.size
+		}
+	}
+	res := Result{Config: Config{Ranks: cfg.Ranks, RanksPerNode: cfg.RanksPerNode, FileSize: cfg.FileSize()}}
+
+	runPhase := func(op device.Op, done func(start, end sim.Time)) {
+		start := w.Engine().Now()
+		finish := sim.NewCountdown(cfg.Ranks, func() { done(start, w.Engine().Now()) })
+		for r := 0; r < cfg.Ranks; r++ {
+			r := r
+			var issue func(i int)
+			issue = func(i int) {
+				if i == len(plans[r]) {
+					finish.Done()
+					return
+				}
+				rq := plans[r][i]
+				if op == device.Write {
+					f.WriteZeros(r, rq.off, rq.size, func(error) { issue(i + 1) })
+				} else {
+					f.ReadDiscard(r, rq.off, rq.size, func(error) { issue(i + 1) })
+				}
+			}
+			issue(0)
+		}
+	}
+
+	w.Run(func() {
+		runPhase(device.Write, func(start, end sim.Time) {
+			res.WriteBytes = totalBytes
+			res.WriteTime = end.Sub(start)
+			runPhase(device.Read, func(start, end sim.Time) {
+				res.ReadBytes = totalBytes
+				res.ReadTime = end.Sub(start)
+			})
+		})
+	})
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: DistributeAnalytic agrees exactly with the fragment-walk
+// Distribute for arbitrary configurations and ranges.
+func TestDistributeAnalyticMatchesWalkProperty(t *testing.T) {
+	prop := func(m8, n8 uint8, h16, s16 uint16, off32, size32 uint32) bool {
+		m := int(m8%7) + 1
+		n := int(n8 % 7)
+		h := int64(h16%32) * 4096
+		s := int64(s16%32) * 4096
+		st := Striping{M: m, N: n, H: h, S: s}
+		if st.Validate() != nil {
+			return true
+		}
+		off := int64(off32 % (4 << 20))
+		size := int64(size32 % (4 << 20))
+		return st.DistributeAnalytic(off, size) == st.Distribute(off, size)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributeAnalyticHandWorked(t *testing.T) {
+	st := Striping{M: 2, N: 1, H: 10, S: 30}
+	// Same example as TestDistributeByHand.
+	d := st.DistributeAnalytic(5, 40)
+	want := Distribution{MTouched: 2, NTouched: 1, MaxH: 10, MaxS: 25}
+	if d != want {
+		t.Fatalf("d = %+v, want %+v", d, want)
+	}
+	if got := st.DistributeAnalytic(0, 0); got != (Distribution{}) {
+		t.Fatalf("zero-size = %+v", got)
+	}
+}
+
+func TestDistributeAnalyticPanics(t *testing.T) {
+	st := Fixed(2, 2, 1024)
+	mustPanic(t, func() { st.DistributeAnalytic(-1, 5) })
+	mustPanic(t, func() { (Striping{M: 1, N: 1}).DistributeAnalytic(0, 5) })
+}
+
+// The four sub-request distribution cases of the paper's Figure 4: the
+// request may begin and end on either server class. Check each case's
+// class participation explicitly.
+func TestDistributeFigure4Cases(t *testing.T) {
+	st := Striping{M: 2, N: 2, H: 10, S: 20} // round: H zone [0,20), S zone [20,60)
+	cases := []struct {
+		name     string
+		off, end int64
+		wantHs   bool // request begins on an HServer
+		wantSs   bool // request ends on an SServer
+	}{
+		{"a: begins H, ends H", 5, 15, true, false},
+		{"b: begins H, ends S", 5, 45, true, true},
+		{"c: begins S, ends H (crosses round)", 25, 75, true, true},
+		{"d: begins S, ends S", 25, 55, false, true},
+	}
+	for _, c := range cases {
+		d := st.DistributeAnalytic(c.off, c.end-c.off)
+		if (d.MTouched > 0) != c.wantHs && (d.NTouched > 0) != c.wantSs {
+			t.Errorf("%s: distribution %+v", c.name, d)
+		}
+		if d != st.Distribute(c.off, c.end-c.off) {
+			t.Errorf("%s: analytic and walk disagree", c.name)
+		}
+	}
+}
+
+func BenchmarkDistributeWalk(b *testing.B) {
+	st := Striping{M: 6, N: 2, H: 16 << 10, S: 128 << 10}
+	for i := 0; i < b.N; i++ {
+		st.Distribute(123456, 2<<20)
+	}
+}
+
+func BenchmarkDistributeAnalytic(b *testing.B) {
+	st := Striping{M: 6, N: 2, H: 16 << 10, S: 128 << 10}
+	for i := 0; i < b.N; i++ {
+		st.DistributeAnalytic(123456, 2<<20)
+	}
+}

@@ -1,0 +1,263 @@
+package migrate
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"harl/internal/cluster"
+	"harl/internal/device"
+	"harl/internal/layout"
+	"harl/internal/pfs"
+	"harl/internal/sim"
+)
+
+// smallSSDbed builds a 2H+2S testbed whose SSDs hold only a few MB, so
+// tests can fill them quickly.
+func smallSSDbed(t *testing.T, ssdCapacity int64) *cluster.Testbed {
+	t.Helper()
+	h := device.DefaultHDD()
+	s := device.DefaultSSD()
+	s.Capacity = ssdCapacity
+	tb, err := cluster.NewCustom([]device.Profile{h, h, s, s}, cluster.Default().Network, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good := Policy{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: sim.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Policy{
+		{HighWatermark: 0, LowWatermark: 0, CheckInterval: sim.Second},
+		{HighWatermark: 1.5, LowWatermark: 0.5, CheckInterval: sim.Second},
+		{HighWatermark: 0.5, LowWatermark: 0.9, CheckInterval: sim.Second},
+		{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: 0},
+		{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: sim.Second, CopyChunk: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+		if _, err := New(nil, p); err == nil {
+			t.Errorf("New accepted bad policy %d", i)
+		}
+	}
+}
+
+func TestHalveSServerShare(t *testing.T) {
+	st := layout.Striping{M: 2, N: 2, H: 16 << 10, S: 64 << 10}
+	out, err := HalveSServerShare(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(layout.Striping)
+	if got.S >= st.S {
+		t.Fatalf("SServer stripe did not shrink: %v", got)
+	}
+	if got.H <= st.H {
+		t.Fatalf("HServer stripe did not grow: %v", got)
+	}
+	// SServer-only layouts halve toward HServers too.
+	ssdOnly := layout.Striping{M: 2, N: 2, H: 0, S: 64 << 10}
+	out, err = HalveSServerShare(ssdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(layout.Striping).H == 0 {
+		t.Fatalf("relayout kept everything on SServers: %v", out)
+	}
+	// Files with no SServer share cannot be migrated further.
+	if _, err := HalveSServerShare(layout.Striping{M: 2, N: 2, H: 16 << 10, S: 0}); err == nil {
+		t.Fatal("S=0 should be rejected")
+	}
+	if _, err := HalveSServerShare(layout.Tiered{Counts: []int{1}, Stripes: []int64{4096}}); err == nil {
+		t.Fatal("tiered layout should be rejected by the two-tier relayout")
+	}
+}
+
+func TestRestripePreservesData(t *testing.T) {
+	tb := smallSSDbed(t, 1<<30)
+	c := tb.FS.NewClient("app")
+	st := layout.Striping{M: 2, N: 2, H: 8 << 10, S: 64 << 10}
+	payload := make([]byte, 3<<20)
+	rand.New(rand.NewSource(4)).Read(payload)
+
+	var f *pfs.File
+	tb.Engine.Schedule(0, func() {
+		c.Create("data", st, func(file *pfs.File, err error) {
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			f = file
+			f.WriteAt(payload, 0, func(error) {})
+		})
+	})
+	tb.Engine.Run()
+
+	m, err := New(tb.FS, Policy{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved int64
+	var restripeErr error
+	tb.Engine.Schedule(0, func() {
+		m.Restripe("data", func(n int64, err error) { moved, restripeErr = n, err })
+	})
+	tb.Engine.Run()
+	if restripeErr != nil {
+		t.Fatalf("restripe: %v", restripeErr)
+	}
+	if moved != int64(len(payload)) {
+		t.Fatalf("moved %d bytes, want %d", moved, len(payload))
+	}
+
+	// Data must read back identically under the new layout, and the
+	// layout must have shifted toward HServers.
+	var got []byte
+	var meta pfs.FileMeta
+	tb.Engine.Schedule(0, func() {
+		c.Open("data", func(f2 *pfs.File, err error) {
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			meta = f2.Meta()
+			f2.ReadAt(0, int64(len(payload)), func(data []byte, _ error) { got = data })
+		})
+	})
+	tb.Engine.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("migration corrupted data")
+	}
+	newSt := meta.Layout.(layout.Striping)
+	if newSt.S >= st.S {
+		t.Fatalf("layout did not move off SServers: %v", newSt)
+	}
+	// The temporary file must be gone.
+	var tmpErr error
+	tb.Engine.Schedule(0, func() {
+		c.Open("data.migrating", func(_ *pfs.File, err error) { tmpErr = err })
+	})
+	tb.Engine.Run()
+	if tmpErr == nil {
+		t.Fatal("temporary migration file left behind")
+	}
+}
+
+func TestRestripeMissingFile(t *testing.T) {
+	tb := smallSSDbed(t, 1<<30)
+	m, err := New(tb.FS, Policy{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	tb.Engine.Schedule(0, func() {
+		m.Restripe("missing", func(_ int64, err error) { got = err })
+	})
+	tb.Engine.Run()
+	if got == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMigratorDrainsOverfullSSD(t *testing.T) {
+	// SSDs with 8 MB capacity; write 12 MB of SServer-heavy files, then
+	// let the migrator run until the SSDs drop below the low watermark.
+	tb := smallSSDbed(t, 6<<20)
+	c := tb.FS.NewClient("app")
+	st := layout.Striping{M: 2, N: 2, H: 4 << 10, S: 60 << 10} // ~94% on SSDs
+	payloads := make(map[string][]byte)
+
+	tb.Engine.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			name := []string{"a", "b", "c"}[i]
+			payload := make([]byte, 4<<20)
+			rand.New(rand.NewSource(int64(i))).Read(payload)
+			payloads[name] = payload
+			c.Create(name, st, func(f *pfs.File, err error) {
+				if err != nil {
+					t.Errorf("create %s: %v", name, err)
+					return
+				}
+				f.WriteAt(payload, 0, func(error) {})
+			})
+		}
+	})
+	tb.Engine.Run()
+
+	over := false
+	for _, s := range tb.FS.Servers() {
+		if s.Role() == pfs.SServer && s.Utilization() > 0.9 {
+			over = true
+		}
+	}
+	if !over {
+		t.Fatalf("setup failed: SSDs not overfull")
+	}
+
+	m, err := New(tb.FS, Policy{HighWatermark: 0.9, LowWatermark: 0.4, CheckInterval: 100 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Engine.Schedule(0, func() { m.Start() })
+	// Run for a bounded virtual horizon, then stop the loop.
+	tb.Engine.RunUntil(sim.Time(120 * sim.Second))
+	m.Stop()
+	tb.Engine.Run()
+
+	if m.Migrations == 0 {
+		t.Fatalf("no migrations happened (failures: %d)", m.Failures)
+	}
+	for _, s := range tb.FS.Servers() {
+		if s.Role() == pfs.SServer && s.Utilization() > 0.9 {
+			t.Fatalf("server %s still overfull at %.0f%%", s.Name, s.Utilization()*100)
+		}
+	}
+	// All data still intact.
+	for name, payload := range payloads {
+		name, payload := name, payload
+		var got []byte
+		tb.Engine.Schedule(0, func() {
+			c.Open(name, func(f *pfs.File, err error) {
+				if err != nil {
+					t.Errorf("open %s: %v", name, err)
+					return
+				}
+				f.ReadAt(0, int64(len(payload)), func(data []byte, _ error) { got = data })
+			})
+		})
+		tb.Engine.Run()
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("file %s corrupted by migration", name)
+		}
+	}
+}
+
+func TestMigratorStopsAtLowWatermark(t *testing.T) {
+	tb := smallSSDbed(t, 64<<20)
+	c := tb.FS.NewClient("app")
+	st := layout.Striping{M: 2, N: 2, H: 16 << 10, S: 16 << 10}
+	tb.Engine.Schedule(0, func() {
+		c.Create("f", st, func(f *pfs.File, err error) {
+			f.WriteAt(make([]byte, 1<<20), 0, func(error) {})
+		})
+	})
+	tb.Engine.Run()
+
+	m, err := New(tb.FS, Policy{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: 50 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Engine.Schedule(0, func() { m.Start() })
+	tb.Engine.RunUntil(sim.Time(5 * sim.Second))
+	m.Stop()
+	tb.Engine.Run()
+	if m.Migrations != 0 {
+		t.Fatalf("migrator moved data below the watermark: %d migrations", m.Migrations)
+	}
+}

@@ -1,0 +1,119 @@
+package mpiio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harl/internal/layout"
+)
+
+// Property: a collective write of arbitrary non-overlapping per-rank
+// pieces followed by a full read returns exactly the image an in-memory
+// flat buffer would hold — regardless of how the pieces interleave, how
+// dense they are, or where the aggregator domain boundaries fall.
+func TestCollectiveWriteMatchesFlatImageProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const extent = 1 << 20
+		flat := make([]byte, extent)
+
+		_, w := world62(t, 8)
+		pieces := make([][]CollPiece, 8)
+		// Carve the extent into random non-overlapping chunks and deal
+		// them round-robin-ish to ranks.
+		pos := int64(0)
+		r := 0
+		for pos < extent {
+			n := int64(rng.Intn(96<<10) + 1)
+			if pos+n > extent {
+				n = extent - pos
+			}
+			data := make([]byte, n)
+			rng.Read(data)
+			copy(flat[pos:], data)
+			pieces[r%8] = append(pieces[r%8], CollPiece{Off: pos, Data: data})
+			pos += n
+			r++
+		}
+		var f *PlainFile
+		var collErr error
+		var got []byte
+		w.Run(func() {
+			w.CreatePlain("coll", layout.Striping{M: 6, N: 2, H: 12 << 10, S: 40 << 10},
+				func(file *PlainFile, err error) {
+					if err != nil {
+						collErr = err
+						return
+					}
+					f = file
+					w.CollectiveWrite(f, pieces, func(err error) {
+						if err != nil {
+							collErr = err
+							return
+						}
+						f.ReadAt(0, 0, extent, func(data []byte, _ error) { got = data })
+					})
+				})
+		})
+		return collErr == nil && bytes.Equal(got, flat)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a collective read returns each rank exactly the bytes a
+// prior plain write stored, for random non-overlapping read ranges.
+func TestCollectiveReadMatchesImageProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const extent = 512 << 10
+		image := make([]byte, extent)
+		rng.Read(image)
+
+		_, w := world62(t, 4)
+		var f *PlainFile
+		w.Run(func() {
+			w.CreatePlain("img", layout.Fixed(6, 2, 32<<10), func(file *PlainFile, err error) {
+				f = file
+				f.WriteAt(0, 0, image, func(error) {})
+			})
+		})
+
+		ranges := make([][]CollRange, 4)
+		pos := int64(0)
+		r := 0
+		for pos < extent {
+			n := int64(rng.Intn(64<<10) + 1)
+			if pos+n > extent {
+				n = extent - pos
+			}
+			ranges[r%4] = append(ranges[r%4], CollRange{Off: pos, Size: n})
+			pos += n
+			r++
+		}
+		ok := false
+		w.Run(func() {
+			w.CollectiveRead(f, ranges, func(bufs [][][]byte, err error) {
+				if err != nil {
+					return
+				}
+				ok = true
+				for rk, rs := range ranges {
+					for i, rg := range rs {
+						want := image[rg.Off : rg.Off+rg.Size]
+						if !bytes.Equal(bufs[rk][i], want) {
+							ok = false
+						}
+					}
+				}
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

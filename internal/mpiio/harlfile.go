@@ -1,0 +1,248 @@
+package mpiio
+
+import (
+	"fmt"
+	"sort"
+
+	"harl/internal/harl"
+	"harl/internal/layout"
+	"harl/internal/pfs"
+	"harl/internal/sim"
+)
+
+// HARLFile is the Placing Phase: a logical file transparently backed by
+// one physical PFS file per RST region, each striped with that region's
+// optimal (H, S) pair. Requests are split at region boundaries and
+// redirected through the region-to-file (R2F) mapping; applications keep
+// issuing plain offset/length I/O (Section III-G: "transparent to
+// applications").
+type HARLFile struct {
+	name string
+	rst  *harl.RST // nil for files placed from a TieredRST
+	r2f  *harl.R2F
+	// bounds[i] is region i's logical byte range; contiguous from 0.
+	bounds []regionBound
+	// handles[region][rank] is rank's open handle on the region's file.
+	handles [][]*pfs.File
+}
+
+// regionBound is one region's logical range.
+type regionBound struct {
+	Offset int64
+	End    int64
+}
+
+// Name returns the logical file name.
+func (f *HARLFile) Name() string { return f.name }
+
+// RST returns the file's two-tier region stripe table, or nil when the
+// file was placed from a TieredRST.
+func (f *HARLFile) RST() *harl.RST { return f.rst }
+
+// Regions returns the number of regions backing the file.
+func (f *HARLFile) Regions() int { return len(f.bounds) }
+
+// CreateHARL materializes the RST: one physical file per region, named by
+// the canonical R2F mapping, striped with the region's pair, opened on
+// every rank.
+func (w *World) CreateHARL(name string, rst *harl.RST, done func(*HARLFile, error)) {
+	if err := rst.Validate(); err != nil {
+		done(nil, err)
+		return
+	}
+	if len(rst.Entries) == 0 {
+		done(nil, fmt.Errorf("mpiio: empty RST for %q", name))
+		return
+	}
+	hCount, sCount := w.fs.CountRoles()
+	f := &HARLFile{
+		name:    name,
+		rst:     rst,
+		r2f:     harl.BuildR2F(name, rst),
+		handles: make([][]*pfs.File, len(rst.Entries)),
+	}
+	for _, e := range rst.Entries {
+		f.bounds = append(f.bounds, regionBound{Offset: e.Offset, End: e.End})
+	}
+	var createRegion func(i int)
+	createRegion = func(i int) {
+		if i == len(rst.Entries) {
+			done(f, nil)
+			return
+		}
+		e := rst.Entries[i]
+		st := layout.Striping{M: hCount, N: sCount, H: e.H, S: e.S}
+		f.handles[i] = make([]*pfs.File, w.Ranks())
+		w.Client(0).Create(f.r2f.File(i), st, func(h *pfs.File, err error) {
+			if err != nil {
+				done(nil, fmt.Errorf("mpiio: create region %d of %q: %w", i, name, err))
+				return
+			}
+			f.handles[i][0] = h
+			w.openRemaining(f.r2f.File(i), f.handles[i], 1, func(err error) {
+				if err != nil {
+					done(nil, err)
+					return
+				}
+				createRegion(i + 1)
+			})
+		})
+	}
+	createRegion(0)
+}
+
+// span is one region-local piece of a logical request.
+type span struct {
+	region int
+	local  int64 // offset within the region's physical file
+	length int64
+}
+
+// split cuts [off, off+size) at region boundaries. Offsets beyond the
+// RST's extent fall into the last region, whose physical file simply
+// grows — the same behaviour the paper's MDS exhibits for requests past
+// the traced range.
+func (f *HARLFile) split(off, size int64) []span {
+	if off < 0 || size < 0 {
+		panic(fmt.Sprintf("mpiio: invalid range %d+%d", off, size))
+	}
+	var spans []span
+	pos := off
+	end := off + size
+	for pos < end {
+		ri := f.lookupRegion(pos)
+		b := f.bounds[ri]
+		// The last region is open-ended: requests past the table's extent
+		// keep growing its physical file.
+		pieceEnd := b.End
+		if ri == len(f.bounds)-1 || pieceEnd > end {
+			pieceEnd = end
+		}
+		spans = append(spans, span{region: ri, local: pos - b.Offset, length: pieceEnd - pos})
+		pos = pieceEnd
+	}
+	return spans
+}
+
+// WriteAt implements File: split at region boundaries and fan out.
+func (f *HARLFile) WriteAt(rank int, off int64, data []byte, done func(error)) {
+	spans := f.split(off, int64(len(data)))
+	if len(spans) == 0 {
+		f.engine().Schedule(0, func() { done(nil) })
+		return
+	}
+	var firstErr error
+	remaining := sim.NewCountdown(len(spans), func() { done(firstErr) })
+	var consumed int64
+	for _, sp := range spans {
+		piece := data[consumed : consumed+sp.length]
+		consumed += sp.length
+		f.handles[sp.region][rank].WriteAt(piece, sp.local, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining.Done()
+		})
+	}
+}
+
+// ReadAt implements File: gather the pieces back in logical order.
+func (f *HARLFile) ReadAt(rank int, off, size int64, done func([]byte, error)) {
+	spans := f.split(off, size)
+	if len(spans) == 0 {
+		f.engine().Schedule(0, func() { done(nil, nil) })
+		return
+	}
+	out := make([]byte, size)
+	var firstErr error
+	remaining := sim.NewCountdown(len(spans), func() { done(out, firstErr) })
+	var consumed int64
+	for _, sp := range spans {
+		sp := sp
+		at := consumed
+		consumed += sp.length
+		f.handles[sp.region][rank].ReadAt(sp.local, sp.length, func(data []byte, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			copy(out[at:at+sp.length], data)
+			remaining.Done()
+		})
+	}
+}
+
+// Size returns the logical EOF: the largest region end containing data,
+// derived from the per-region physical sizes.
+func (f *HARLFile) Size() int64 {
+	var size int64
+	for i, hs := range f.handles {
+		if regionSize := hs[0].Size(); regionSize > 0 {
+			if s := f.bounds[i].Offset + regionSize; s > size {
+				size = s
+			}
+		}
+	}
+	return size
+}
+
+// lookupRegion returns the region containing the offset; offsets beyond
+// the extent map to the last region.
+func (f *HARLFile) lookupRegion(off int64) int {
+	i := sort.Search(len(f.bounds), func(i int) bool { return f.bounds[i].End > off })
+	if i == len(f.bounds) {
+		i = len(f.bounds) - 1
+	}
+	return i
+}
+
+// CreateHARLTiered materializes a multi-tier Region Stripe Table: one
+// physical file per region, striped with that region's per-tier stripe
+// sizes — the Placing Phase of the future-work extension. The file's
+// API is identical to a two-tier HARL file.
+func (w *World) CreateHARLTiered(name string, trst *harl.TieredRST, done func(*HARLFile, error)) {
+	if err := trst.Validate(); err != nil {
+		done(nil, err)
+		return
+	}
+	if len(trst.Entries) == 0 {
+		done(nil, fmt.Errorf("mpiio: empty tiered RST for %q", name))
+		return
+	}
+	f := &HARLFile{
+		name:    name,
+		handles: make([][]*pfs.File, len(trst.Entries)),
+	}
+	for _, e := range trst.Entries {
+		f.bounds = append(f.bounds, regionBound{Offset: e.Offset, End: e.End})
+	}
+	var createRegion func(i int)
+	createRegion = func(i int) {
+		if i == len(trst.Entries) {
+			done(f, nil)
+			return
+		}
+		e := trst.Entries[i]
+		lo := layout.Tiered{Counts: trst.Counts, Stripes: e.Stripes}
+		f.handles[i] = make([]*pfs.File, w.Ranks())
+		regionFile := fmt.Sprintf("%s.r%d", name, i)
+		w.Client(0).Create(regionFile, lo, func(h *pfs.File, err error) {
+			if err != nil {
+				done(nil, fmt.Errorf("mpiio: create region %d of %q: %w", i, name, err))
+				return
+			}
+			f.handles[i][0] = h
+			w.openRemaining(regionFile, f.handles[i], 1, func(err error) {
+				if err != nil {
+					done(nil, err)
+					return
+				}
+				createRegion(i + 1)
+			})
+		})
+	}
+	createRegion(0)
+}
+
+func (f *HARLFile) engine() *sim.Engine {
+	return f.handles[0][0].Engine()
+}

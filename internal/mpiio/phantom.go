@@ -1,0 +1,105 @@
+package mpiio
+
+import (
+	"harl/internal/device"
+	"harl/internal/sim"
+	"harl/internal/trace"
+)
+
+// PhantomFile extends File with payload-free operations for
+// benchmark-scale workloads (see package pfs's phantom I/O). All three
+// file implementations satisfy it.
+type PhantomFile interface {
+	File
+	// WriteZeros is WriteAt with a logical all-zero payload of the given
+	// size, allocating nothing.
+	WriteZeros(rank int, off, size int64, done func(error))
+	// ReadDiscard is ReadAt without materializing the data.
+	ReadDiscard(rank int, off, size int64, done func(error))
+}
+
+// WriteZeros implements PhantomFile.
+func (f *PlainFile) WriteZeros(rank int, off, size int64, done func(error)) {
+	f.handles[rank].WriteZeros(off, size, done)
+}
+
+// ReadDiscard implements PhantomFile.
+func (f *PlainFile) ReadDiscard(rank int, off, size int64, done func(error)) {
+	f.handles[rank].ReadDiscard(off, size, done)
+}
+
+// WriteZeros implements PhantomFile, splitting at region boundaries.
+func (f *HARLFile) WriteZeros(rank int, off, size int64, done func(error)) {
+	spans := f.split(off, size)
+	if len(spans) == 0 {
+		f.engine().Schedule(0, func() { done(nil) })
+		return
+	}
+	var firstErr error
+	remaining := sim.NewCountdown(len(spans), func() { done(firstErr) })
+	for _, sp := range spans {
+		f.handles[sp.region][rank].WriteZeros(sp.local, sp.length, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining.Done()
+		})
+	}
+}
+
+// ReadDiscard implements PhantomFile, splitting at region boundaries.
+func (f *HARLFile) ReadDiscard(rank int, off, size int64, done func(error)) {
+	spans := f.split(off, size)
+	if len(spans) == 0 {
+		f.engine().Schedule(0, func() { done(nil) })
+		return
+	}
+	var firstErr error
+	remaining := sim.NewCountdown(len(spans), func() { done(firstErr) })
+	for _, sp := range spans {
+		f.handles[sp.region][rank].ReadDiscard(sp.local, sp.length, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining.Done()
+		})
+	}
+}
+
+// WriteZeros implements PhantomFile, recording the request like WriteAt.
+func (f *TracingFile) WriteZeros(rank int, off, size int64, done func(error)) {
+	inner, ok := f.inner.(PhantomFile)
+	if !ok {
+		panic("mpiio: traced file does not support phantom I/O")
+	}
+	start := f.engine.Now()
+	inner.WriteZeros(rank, off, size, func(err error) {
+		if size > 0 {
+			f.collector.Record(trace.Record{
+				PID: f.pid + rank, Rank: rank, FD: f.fd,
+				Op: device.Write, Offset: off, Size: size,
+				Start: start, End: f.engine.Now(),
+			})
+		}
+		done(err)
+	})
+}
+
+// ReadDiscard implements PhantomFile, recording the request like ReadAt.
+func (f *TracingFile) ReadDiscard(rank int, off, size int64, done func(error)) {
+	inner, ok := f.inner.(PhantomFile)
+	if !ok {
+		panic("mpiio: traced file does not support phantom I/O")
+	}
+	start := f.engine.Now()
+	inner.ReadDiscard(rank, off, size, func(err error) {
+		if size > 0 {
+			f.collector.Record(trace.Record{
+				PID: f.pid + rank, Rank: rank, FD: f.fd,
+				Op: device.Read, Offset: off, Size: size,
+				Start: start, End: f.engine.Now(),
+			})
+		}
+		done(err)
+	})
+}

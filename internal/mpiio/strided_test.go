@@ -1,0 +1,188 @@
+package mpiio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"harl/internal/layout"
+	"harl/internal/sim"
+)
+
+func TestStridedValidate(t *testing.T) {
+	good := Strided{Offset: 0, BlockSize: 4096, Stride: 8192, Count: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Bytes() != 4*4096 || good.Extent() != 3*8192+4096 {
+		t.Fatalf("bytes/extent = %d/%d", good.Bytes(), good.Extent())
+	}
+	bad := []Strided{
+		{Offset: -1, BlockSize: 1, Stride: 2, Count: 1},
+		{BlockSize: 0, Stride: 2, Count: 1},
+		{BlockSize: 4, Stride: 2, Count: 2}, // overlapping blocks
+		{BlockSize: 1, Stride: 2, Count: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad pattern %d accepted", i)
+		}
+	}
+	// Single block ignores the stride.
+	single := Strided{BlockSize: 8, Stride: 0, Count: 1}
+	if err := single.Validate(); err != nil {
+		t.Fatalf("single block rejected: %v", err)
+	}
+}
+
+// writeKnownFile fills [0, size) with a deterministic pattern.
+func writeKnownFile(t *testing.T, w *World, size int64) (*PlainFile, []byte) {
+	t.Helper()
+	content := make([]byte, size)
+	rand.New(rand.NewSource(13)).Read(content)
+	var f *PlainFile
+	w.Run(func() {
+		w.CreatePlain("strided", layout.Fixed(6, 2, 64<<10), func(file *PlainFile, err error) {
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			f = file
+			f.WriteAt(0, 0, content, func(error) {})
+		})
+	})
+	return f, content
+}
+
+func TestReadStridedBothPaths(t *testing.T) {
+	for _, dense := range []bool{true, false} {
+		dense := dense
+		name := map[bool]string{true: "sieved", false: "per-block"}[dense]
+		t.Run(name, func(t *testing.T) {
+			_, w := world62(t, 2)
+			f, content := writeKnownFile(t, w, 2<<20)
+			pattern := Strided{Offset: 4096, BlockSize: 16 << 10, Count: 8}
+			if dense {
+				pattern.Stride = 20 << 10 // density 0.8 -> sieve
+			} else {
+				pattern.Stride = 200 << 10 // density 0.08 -> per block
+			}
+			var got [][]byte
+			w.Run(func() {
+				w.ReadStrided(f, 1, pattern, func(blocks [][]byte, err error) {
+					if err != nil {
+						t.Errorf("read strided: %v", err)
+						return
+					}
+					got = blocks
+				})
+			})
+			if len(got) != pattern.Count {
+				t.Fatalf("blocks = %d", len(got))
+			}
+			for k, b := range got {
+				at := pattern.Offset + int64(k)*pattern.Stride
+				if !bytes.Equal(b, content[at:at+pattern.BlockSize]) {
+					t.Fatalf("block %d mismatch", k)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteStridedBothPaths(t *testing.T) {
+	for _, dense := range []bool{true, false} {
+		dense := dense
+		name := map[bool]string{true: "sieved", false: "per-block"}[dense]
+		t.Run(name, func(t *testing.T) {
+			_, w := world62(t, 2)
+			f, content := writeKnownFile(t, w, 2<<20)
+			pattern := Strided{Offset: 8192, BlockSize: 8 << 10, Count: 6}
+			if dense {
+				pattern.Stride = 10 << 10
+			} else {
+				pattern.Stride = 150 << 10
+			}
+			blocks := make([][]byte, pattern.Count)
+			for k := range blocks {
+				blocks[k] = make([]byte, pattern.BlockSize)
+				rand.New(rand.NewSource(int64(100 + k))).Read(blocks[k])
+				at := pattern.Offset + int64(k)*pattern.Stride
+				copy(content[at:], blocks[k]) // expected final image
+			}
+			var werr error
+			var got []byte
+			w.Run(func() {
+				w.WriteStrided(f, 0, pattern, blocks, func(err error) {
+					werr = err
+					f.ReadAt(1, 0, int64(len(content)), func(data []byte, _ error) { got = data })
+				})
+			})
+			if werr != nil {
+				t.Fatalf("write strided: %v", werr)
+			}
+			if !bytes.Equal(got, content) {
+				t.Fatal("strided write corrupted the file image")
+			}
+		})
+	}
+}
+
+// Sieving must save wall-clock time on dense patterns: one covering
+// request beats many small ones on a startup-dominated system.
+func TestSievingIsFasterOnDensePatterns(t *testing.T) {
+	run := func(force bool) sim.Duration {
+		_, w := world62(t, 2)
+		f, _ := writeKnownFile(t, w, 4<<20)
+		pattern := Strided{Offset: 0, BlockSize: 16 << 10, Stride: 40 << 10, Count: 32} // density 0.4
+		var start, end sim.Time
+		w.Run(func() {
+			start = w.Engine().Now()
+			if force {
+				// Force the per-block path by reading blocks one by one.
+				var k int
+				var next func()
+				next = func() {
+					if k == pattern.Count {
+						end = w.Engine().Now()
+						return
+					}
+					off := pattern.Offset + int64(k)*pattern.Stride
+					k++
+					f.ReadAt(0, off, pattern.BlockSize, func([]byte, error) { next() })
+				}
+				next()
+			} else {
+				w.ReadStrided(f, 0, pattern, func([][]byte, error) {
+					end = w.Engine().Now()
+				})
+			}
+		})
+		return end.Sub(start)
+	}
+	perBlock := run(true)
+	sieved := run(false)
+	if sieved >= perBlock {
+		t.Fatalf("sieved read (%v) not faster than per-block (%v)", sieved, perBlock)
+	}
+}
+
+func TestStridedErrors(t *testing.T) {
+	_, w := world62(t, 1)
+	f, _ := writeKnownFile(t, w, 1<<20)
+	var errs []error
+	collect := func(err error) { errs = append(errs, err) }
+	w.Run(func() {
+		w.ReadStrided(f, 0, Strided{BlockSize: 0, Count: 1}, func(_ [][]byte, err error) { collect(err) })
+		w.WriteStrided(f, 0, Strided{BlockSize: 0, Count: 1}, nil, collect)
+		w.WriteStrided(f, 0, Strided{BlockSize: 4, Stride: 8, Count: 2}, [][]byte{{1, 2, 3, 4}}, collect)
+		w.WriteStrided(f, 0, Strided{BlockSize: 4, Stride: 8, Count: 1}, [][]byte{{1}}, collect)
+	})
+	if len(errs) != 4 {
+		t.Fatalf("callbacks = %d, want 4", len(errs))
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("bad call %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package mpiio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"harl/internal/cluster"
+	"harl/internal/device"
+	"harl/internal/harl"
+)
+
+// world3tier builds a 6 HDD + 1 SATA-SSD + 1 PCIe-SSD system.
+func world3tier(t testing.TB, ranks int) (*cluster.Testbed, *World) {
+	t.Helper()
+	profiles := make([]device.Profile, 0, 8)
+	for i := 0; i < 6; i++ {
+		profiles = append(profiles, device.DefaultHDD())
+	}
+	profiles = append(profiles, device.DefaultSATASSD(), device.DefaultSSD())
+	tb, err := cluster.NewCustom(profiles, cluster.Default().Network, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, NewWorld(tb.FS, ranks, 2)
+}
+
+func tieredTestRST() *harl.TieredRST {
+	return &harl.TieredRST{
+		Counts: []int{6, 1, 1},
+		Entries: []harl.TieredRSTEntry{
+			{Offset: 0, End: 1 << 20, Stripes: []int64{8 << 10, 32 << 10, 64 << 10}},
+			{Offset: 1 << 20, End: 4 << 20, Stripes: []int64{0, 64 << 10, 128 << 10}},
+		},
+	}
+}
+
+func TestCreateHARLTieredRoundTrip(t *testing.T) {
+	_, w := world3tier(t, 4)
+	payload := make([]byte, 2<<20) // spans both regions from 512K
+	rand.New(rand.NewSource(8)).Read(payload)
+	const off = 512 << 10
+	var got []byte
+	w.Run(func() {
+		w.CreateHARLTiered("tf", tieredTestRST(), func(f *HARLFile, err error) {
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			if f.RST() != nil {
+				t.Error("tiered file should have no two-tier RST")
+			}
+			if f.Regions() != 2 {
+				t.Errorf("regions = %d", f.Regions())
+			}
+			f.WriteAt(1, off, payload, func(error) {
+				f.ReadAt(3, off, int64(len(payload)), func(data []byte, _ error) { got = data })
+			})
+		})
+	})
+	if !bytes.Equal(got, payload) {
+		t.Fatal("tiered region file corrupted data")
+	}
+}
+
+func TestCreateHARLTieredPhantomAndCollective(t *testing.T) {
+	_, w := world3tier(t, 4)
+	var f *HARLFile
+	w.Run(func() {
+		w.CreateHARLTiered("tf", tieredTestRST(), func(file *HARLFile, err error) {
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			f = file
+		})
+	})
+	// Phantom ops work across region boundaries.
+	phantomDone := false
+	w.Run(func() {
+		f.WriteZeros(0, 0, 2<<20, func(err error) {
+			if err != nil {
+				t.Errorf("write zeros: %v", err)
+			}
+			f.ReadDiscard(1, 512<<10, 1<<20, func(err error) {
+				if err != nil {
+					t.Errorf("read discard: %v", err)
+				}
+				phantomDone = true
+			})
+		})
+	})
+	if !phantomDone {
+		t.Fatal("phantom ops never completed")
+	}
+	// Collective write through the tiered file.
+	const block = 256 << 10
+	payload := make([]byte, 4*block)
+	rand.New(rand.NewSource(9)).Read(payload)
+	pieces := make([][]CollPiece, 4)
+	for r := 0; r < 4; r++ {
+		o := int64(r) * block
+		pieces[r] = []CollPiece{{Off: o, Data: payload[o : o+block]}}
+	}
+	var got []byte
+	w.Run(func() {
+		w.CollectiveWrite(f, pieces, func(err error) {
+			if err != nil {
+				t.Errorf("collective write: %v", err)
+				return
+			}
+			f.ReadAt(0, 0, int64(len(payload)), func(data []byte, _ error) { got = data })
+		})
+	})
+	if !bytes.Equal(got, payload) {
+		t.Fatal("collective write through tiered file corrupted data")
+	}
+}
+
+func TestCreateHARLTieredRejectsBadRST(t *testing.T) {
+	_, w := world3tier(t, 1)
+	var err1, err2 error
+	w.Run(func() {
+		w.CreateHARLTiered("a", &harl.TieredRST{Counts: []int{6, 1, 1}}, func(_ *HARLFile, err error) { err1 = err })
+		bad := &harl.TieredRST{
+			Counts:  []int{6, 1, 1},
+			Entries: []harl.TieredRSTEntry{{Offset: 5, End: 10, Stripes: []int64{1, 1, 1}}},
+		}
+		w.CreateHARLTiered("b", bad, func(_ *HARLFile, err error) { err2 = err })
+	})
+	if err1 == nil || err2 == nil {
+		t.Fatalf("bad tiered RSTs accepted: %v, %v", err1, err2)
+	}
+}
+
+func TestCreateHARLTieredWrongServerCount(t *testing.T) {
+	// The RST's tier counts must match the file system population.
+	_, w := world3tier(t, 1)
+	var got error
+	w.Run(func() {
+		bad := &harl.TieredRST{
+			Counts:  []int{2, 1},
+			Entries: []harl.TieredRSTEntry{{Offset: 0, End: 1 << 20, Stripes: []int64{4096, 8192}}},
+		}
+		w.CreateHARLTiered("c", bad, func(_ *HARLFile, err error) { got = err })
+	})
+	if got == nil {
+		t.Fatal("mismatched server population accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Package mpiio is the MPI-IO middleware stand-in (MPICH2/ROMIO in the
+// paper): a set of ranks running on compute nodes, independent and
+// two-phase collective I/O, and the HARL interception layer that
+// transparently redirects a logical file's requests to per-region
+// physical files (Section III-G).
+//
+// Everything runs on the shared discrete-event engine; operations take
+// completion callbacks, and collective calls synchronize all ranks like
+// their MPI counterparts.
+package mpiio
+
+import (
+	"fmt"
+
+	"harl/internal/pfs"
+	"harl/internal/sim"
+)
+
+// World is an MPI communicator: ranks placed round-robin-block onto
+// compute nodes, each node owning one network attachment.
+type World struct {
+	fs           *pfs.FS
+	engine       *sim.Engine
+	clients      []*pfs.Client // one per rank; same-node ranks share the link
+	ranksPerNode int
+	nextFD       int
+}
+
+// NewWorld creates ranks packed onto nodes with ranksPerNode ranks per
+// compute node (the paper's IOR default is 16 processes on 8 nodes, so 2
+// per node). Rank r runs on node r/ranksPerNode.
+func NewWorld(fs *pfs.FS, ranks, ranksPerNode int) *World {
+	return NewWorldNamed(fs, "cn", ranks, ranksPerNode)
+}
+
+// NewWorldNamed is NewWorld with a compute-node name prefix, letting
+// several communicators (applications) coexist on one file system
+// without node-name collisions.
+func NewWorldNamed(fs *pfs.FS, prefix string, ranks, ranksPerNode int) *World {
+	if ranks <= 0 || ranksPerNode <= 0 {
+		panic(fmt.Sprintf("mpiio: invalid world %d ranks x %d per node", ranks, ranksPerNode))
+	}
+	w := &World{fs: fs, engine: fs.Engine(), ranksPerNode: ranksPerNode, nextFD: 3}
+	var nodeFirst *pfs.Client
+	for r := 0; r < ranks; r++ {
+		if r%ranksPerNode == 0 {
+			nodeFirst = fs.NewClient(fmt.Sprintf("%s%d", prefix, r/ranksPerNode))
+			w.clients = append(w.clients, nodeFirst)
+		} else {
+			w.clients = append(w.clients, fs.AdoptClient(fmt.Sprintf("%s%d.r%d", prefix, r/ranksPerNode, r), nodeFirst))
+		}
+	}
+	return w
+}
+
+// Ranks returns the communicator size.
+func (w *World) Ranks() int { return len(w.clients) }
+
+// Nodes returns the number of compute nodes hosting the ranks.
+func (w *World) Nodes() int {
+	return (len(w.clients) + w.ranksPerNode - 1) / w.ranksPerNode
+}
+
+// NodeOf returns the compute node hosting a rank.
+func (w *World) NodeOf(rank int) int { return rank / w.ranksPerNode }
+
+// Client returns the PFS client a rank issues I/O through.
+func (w *World) Client(rank int) *pfs.Client {
+	if rank < 0 || rank >= len(w.clients) {
+		panic(fmt.Sprintf("mpiio: rank %d out of range [0,%d)", rank, len(w.clients)))
+	}
+	return w.clients[rank]
+}
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.engine }
+
+// FS returns the underlying file system.
+func (w *World) FS() *pfs.FS { return w.fs }
+
+// aggregators returns the collective-buffering aggregator ranks: the
+// first rank of each compute node, ROMIO's default cb_nodes placement.
+func (w *World) aggregators() []int {
+	var aggs []int
+	for r := 0; r < len(w.clients); r += w.ranksPerNode {
+		aggs = append(aggs, r)
+	}
+	return aggs
+}
+
+// fd issues a unique descriptor for trace records.
+func (w *World) fd() int {
+	w.nextFD++
+	return w.nextFD - 1
+}
+
+// File is the MPI-IO file abstraction: rank-addressed asynchronous
+// positional I/O. Implementations are PlainFile (one PFS file, the
+// traditional layouts) and HARLFile (region-level redirection).
+type File interface {
+	// Name returns the logical file name.
+	Name() string
+	// WriteAt stores data at the logical offset on behalf of rank.
+	WriteAt(rank int, off int64, data []byte, done func(error))
+	// ReadAt fetches size bytes at the logical offset on behalf of rank.
+	ReadAt(rank int, off, size int64, done func([]byte, error))
+}

@@ -1,0 +1,150 @@
+// Package netsim models the cluster interconnect: every node owns a
+// full-duplex link into a non-blocking switch fabric (the Gigabit Ethernet
+// of the paper's testbed). A transfer serializes on the sender's transmit
+// lane and the receiver's receive lane, and pays a fixed propagation plus
+// protocol latency in between. Contention therefore appears exactly where
+// it does on real hardware: many clients writing to one file server queue
+// on that server's receive lane.
+package netsim
+
+import (
+	"fmt"
+
+	"harl/internal/sim"
+)
+
+// Config holds the link parameters shared by all nodes.
+type Config struct {
+	// Bandwidth is the per-direction link rate in bytes/second.
+	Bandwidth float64
+	// Latency is the one-way propagation + protocol-stack delay per message.
+	Latency sim.Duration
+}
+
+// GigabitEthernet mirrors the paper's interconnect: ~117 MB/s effective
+// per direction and ~100 µs one-way latency through the kernel stack.
+func GigabitEthernet() Config {
+	return Config{Bandwidth: 117 << 20, Latency: 100 * sim.Microsecond}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("netsim: bandwidth %v must be positive", c.Bandwidth)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("netsim: negative latency %v", c.Latency)
+	}
+	return nil
+}
+
+// Network is the switch fabric plus all attached nodes.
+type Network struct {
+	engine *sim.Engine
+	cfg    Config
+	nodes  map[string]*Node
+
+	// Transfers and BytesMoved account all traffic for reports.
+	Transfers  uint64
+	BytesMoved int64
+}
+
+// New creates an empty network on the given engine.
+func New(e *sim.Engine, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{engine: e, cfg: cfg, nodes: make(map[string]*Node)}, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(e *sim.Engine, cfg Config) *Network {
+	n, err := New(e, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Config returns the link parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// Node is one machine's network attachment: independent transmit and
+// receive lanes, each carrying one frame stream at a time.
+type Node struct {
+	name string
+	tx   *sim.Resource
+	rx   *sim.Resource
+}
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// TxUtilization and RxUtilization report per-lane utilization after a run.
+func (nd *Node) TxUtilization() float64 { return nd.tx.Utilization() }
+
+// RxUtilization reports the receive lane's utilization after a run.
+func (nd *Node) RxUtilization() float64 { return nd.rx.Utilization() }
+
+// AddNode attaches a new node; names must be unique.
+func (n *Network) AddNode(name string) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %q", name))
+	}
+	nd := &Node{
+		name: name,
+		tx:   sim.NewResource(n.engine, name+"/tx", 1),
+		rx:   sim.NewResource(n.engine, name+"/rx", 1),
+	}
+	n.nodes[name] = nd
+	return nd
+}
+
+// Node returns a previously added node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Transfer moves size bytes from one node to another and calls done at the
+// instant the last byte lands at the receiver. A size of zero models a
+// bare control message (latency only). Loopback (from == to) costs only
+// latency: local requests never touch the wire.
+func (n *Network) Transfer(from, to *Node, size int64, done func(at sim.Time)) {
+	if from == nil || to == nil {
+		panic("netsim: transfer between nil nodes")
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("netsim: negative transfer size %d", size))
+	}
+	n.Transfers++
+	n.BytesMoved += size
+
+	if from == to {
+		n.engine.Schedule(n.cfg.Latency, func() { n.finish(done) })
+		return
+	}
+
+	wire := sim.BytesDuration(size, n.cfg.Bandwidth)
+	// The frame stream is pipelined cut-through: the receiver's lane
+	// carries the same bytes one propagation delay behind the sender's,
+	// buffering in the switch if the receive lane is momentarily busy.
+	// Each lane queues independently — an uncontended transfer completes
+	// in wire + latency, and concurrent transfers serialize exactly where
+	// they physically share a lane.
+	txStart, _ := from.tx.Use(wire, nil)
+	to.rx.UseAt(txStart.Add(n.cfg.Latency), wire, func(_, rxEnd sim.Time) {
+		n.finish(done)
+	})
+}
+
+func (n *Network) finish(done func(at sim.Time)) {
+	if done != nil {
+		done(n.engine.Now())
+	}
+}
+
+// RoundTrip sends a control message from a to b and the reply back,
+// calling done when the reply arrives — the metadata-server RPC pattern.
+func (n *Network) RoundTrip(a, b *Node, request, reply int64, done func(at sim.Time)) {
+	n.Transfer(a, b, request, func(sim.Time) {
+		n.Transfer(b, a, reply, done)
+	})
+}

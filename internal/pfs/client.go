@@ -1,0 +1,200 @@
+package pfs
+
+import (
+	"fmt"
+
+	"harl/internal/device"
+	"harl/internal/layout"
+	"harl/internal/netsim"
+	"harl/internal/sim"
+)
+
+// metaRPCBytes approximates the wire size of a metadata request or reply.
+const metaRPCBytes = 256
+
+// Client is one compute node's view of the file system. Clients resolve
+// metadata through the MDS, cache it in File handles, and then exchange
+// data directly with the data servers — the standard PFS access protocol
+// described in Section III-F.
+type Client struct {
+	fs   *FS
+	name string
+	node *netsim.Node
+}
+
+// File is a client-side handle: cached metadata for a file.
+type File struct {
+	client *Client
+	meta   *FileMeta
+}
+
+// Meta returns a copy of the cached metadata.
+func (f *File) Meta() FileMeta { return *f.meta }
+
+// Engine returns the simulation engine the file's operations run on.
+func (f *File) Engine() *sim.Engine { return f.client.fs.engine }
+
+// Size returns the file's logical EOF at the time of the call.
+func (f *File) Size() int64 { return f.meta.Size }
+
+// NewClient attaches a new client node to the file system's network.
+func (fs *FS) NewClient(name string) *Client {
+	return &Client{fs: fs, name: name, node: fs.net.AddNode(name)}
+}
+
+// AdoptClient builds a client that shares an existing network node — used
+// when several simulated processes run on one compute node, as in the
+// paper's 16-processes-on-8-nodes IOR runs.
+func (fs *FS) AdoptClient(name string, shared *Client) *Client {
+	return &Client{fs: fs, name: name, node: shared.node}
+}
+
+// Name returns the client's name.
+func (c *Client) Name() string { return c.name }
+
+// Node returns the client's network attachment (shared between clients
+// created with AdoptClient).
+func (c *Client) Node() *netsim.Node { return c.node }
+
+// Create registers a file with the given striping via an MDS round trip
+// and returns an open handle.
+func (c *Client) Create(name string, lo layout.Mapper, done func(*File, error)) {
+	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
+		meta, err := c.fs.create(name, lo)
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(&File{client: c, meta: meta}, nil)
+	})
+}
+
+// Open resolves an existing file's metadata via an MDS round trip.
+func (c *Client) Open(name string, done func(*File, error)) {
+	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
+		meta := c.fs.lookup(name)
+		if meta == nil {
+			done(nil, fmt.Errorf("pfs: file %q does not exist", name))
+			return
+		}
+		done(&File{client: c, meta: meta}, nil)
+	})
+}
+
+// Remove deletes a file via the MDS.
+func (c *Client) Remove(name string, done func(error)) {
+	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
+		done(c.fs.remove(name))
+	})
+}
+
+// Rename renames a file via the MDS; the destination must not exist.
+func (c *Client) Rename(oldName, newName string, done func(error)) {
+	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
+		done(c.fs.rename(oldName, newName))
+	})
+}
+
+// WriteAt stores data at the logical offset, striping it across the data
+// servers; done fires when every server has acknowledged its sub-request.
+func (f *File) WriteAt(data []byte, off int64, done func(error)) {
+	c := f.client
+	size := int64(len(data))
+	if size == 0 {
+		c.fs.engine.Schedule(0, func() { done(nil) })
+		return
+	}
+	subs := f.meta.Layout.Map(off, size)
+	remaining := sim.NewCountdown(len(subs), func() {
+		if eof := off + size; eof > f.meta.Size {
+			f.meta.Size = eof
+		}
+		done(nil)
+	})
+	// Split the client buffer per sub-request in logical order. Map
+	// returns per-server ranges; recover each sub-request's slice of the
+	// logical buffer by walking the same stripe fragments.
+	bufs := f.splitBuffer(data, off)
+	for _, sub := range subs {
+		sub := sub
+		server := c.fs.servers[sub.Server]
+		payload := bufs[sub.Server]
+		// Data flows client -> server, then the disk commits it, then a
+		// small ack returns.
+		c.fs.net.Transfer(c.node, server.node, sub.Size, func(sim.Time) {
+			server.serve(device.Write, f.meta.ID, sub.Local, payload, sub.Size, func([]byte) {
+				c.fs.net.Transfer(server.node, c.node, 0, func(sim.Time) {
+					remaining.Done()
+				})
+			})
+		})
+	}
+}
+
+// ReadAt fetches size bytes at the logical offset; done receives the
+// reassembled buffer once the last server replies.
+func (f *File) ReadAt(off, size int64, done func([]byte, error)) {
+	c := f.client
+	if size == 0 {
+		c.fs.engine.Schedule(0, func() { done(nil, nil) })
+		return
+	}
+	subs := f.meta.Layout.Map(off, size)
+	out := make([]byte, size)
+	remaining := sim.NewCountdown(len(subs), func() { done(out, nil) })
+	for _, sub := range subs {
+		sub := sub
+		server := c.fs.servers[sub.Server]
+		// Request message out, disk read, data back.
+		c.fs.net.Transfer(c.node, server.node, 0, func(sim.Time) {
+			server.serve(device.Read, f.meta.ID, sub.Local, nil, sub.Size, func(data []byte) {
+				c.fs.net.Transfer(server.node, c.node, sub.Size, func(sim.Time) {
+					f.scatterIntoBuffer(out, off, sub.Server, data)
+					remaining.Done()
+				})
+			})
+		})
+	}
+}
+
+// splitBuffer carves the logical write buffer into per-server payloads in
+// server-local order, mirroring Striping.Map's fragment walk.
+func (f *File) splitBuffer(data []byte, off int64) map[int][]byte {
+	st := f.meta.Layout
+	bufs := make(map[int][]byte)
+	pos := off
+	end := off + int64(len(data))
+	for pos < end {
+		server, local := st.Locate(pos)
+		stripe := st.StripeOf(server)
+		frag := stripe - local%stripe
+		if rem := end - pos; frag > rem {
+			frag = rem
+		}
+		bufs[server] = append(bufs[server], data[pos-off:pos-off+frag]...)
+		pos += frag
+	}
+	return bufs
+}
+
+// scatterIntoBuffer places one server's contiguous reply back into the
+// logical read buffer.
+func (f *File) scatterIntoBuffer(out []byte, off int64, server int, data []byte) {
+	st := f.meta.Layout
+	pos := off
+	end := off + int64(len(out))
+	var consumed int64
+	for pos < end {
+		srv, local := st.Locate(pos)
+		stripe := st.StripeOf(srv)
+		frag := stripe - local%stripe
+		if rem := end - pos; frag > rem {
+			frag = rem
+		}
+		if srv == server {
+			copy(out[pos-off:pos-off+frag], data[consumed:consumed+frag])
+			consumed += frag
+		}
+		pos += frag
+	}
+}

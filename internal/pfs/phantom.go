@@ -1,0 +1,73 @@
+package pfs
+
+import (
+	"harl/internal/device"
+	"harl/internal/sim"
+)
+
+// Phantom I/O: benchmark-scale operations that move simulated time and
+// queue load but no payload bytes. A 16 GB IOR run would otherwise
+// allocate 16 GB of backing pages; WriteZeros and ReadDiscard give the
+// exact same timing behaviour (striping, network, disk service) while the
+// sparse stores stay empty — logically, the file holds zeros, which is
+// also exactly what a read of the untouched ranges returns.
+
+// WriteZeros behaves like WriteAt with a size-long all-zero buffer but
+// allocates and stores nothing.
+func (f *File) WriteZeros(off, size int64, done func(error)) {
+	c := f.client
+	if size == 0 {
+		c.fs.engine.Schedule(0, func() { done(nil) })
+		return
+	}
+	subs := f.meta.Layout.Map(off, size)
+	remaining := sim.NewCountdown(len(subs), func() {
+		if eof := off + size; eof > f.meta.Size {
+			f.meta.Size = eof
+		}
+		done(nil)
+	})
+	for _, sub := range subs {
+		sub := sub
+		server := c.fs.servers[sub.Server]
+		c.fs.net.Transfer(c.node, server.node, sub.Size, func(sim.Time) {
+			server.servePhantom(device.Write, sub.Local, sub.Size, func() {
+				c.fs.net.Transfer(server.node, c.node, 0, func(sim.Time) {
+					remaining.Done()
+				})
+			})
+		})
+	}
+}
+
+// ReadDiscard behaves like ReadAt but never materializes the data.
+func (f *File) ReadDiscard(off, size int64, done func(error)) {
+	c := f.client
+	if size == 0 {
+		c.fs.engine.Schedule(0, func() { done(nil) })
+		return
+	}
+	subs := f.meta.Layout.Map(off, size)
+	remaining := sim.NewCountdown(len(subs), func() { done(nil) })
+	for _, sub := range subs {
+		sub := sub
+		server := c.fs.servers[sub.Server]
+		c.fs.net.Transfer(c.node, server.node, 0, func(sim.Time) {
+			server.servePhantom(device.Read, sub.Local, sub.Size, func() {
+				c.fs.net.Transfer(server.node, c.node, sub.Size, func(sim.Time) {
+					remaining.Done()
+				})
+			})
+		})
+	}
+}
+
+// servePhantom runs a sub-request through the disk queue without touching
+// the object store.
+func (s *Server) servePhantom(op device.Op, local, size int64, done func()) {
+	service := s.Dev.ServiceTime(op, local, size, s.fs.engine.Rand())
+	if s.SlowFactor > 1 {
+		service = sim.Duration(float64(service) * s.SlowFactor)
+	}
+	s.disk.Use(service, func(_, _ sim.Time) { done() })
+}

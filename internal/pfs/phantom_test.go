@@ -1,0 +1,183 @@
+package pfs
+
+import (
+	"testing"
+
+	"harl/internal/layout"
+	"harl/internal/sim"
+)
+
+func TestPhantomWriteAdvancesEOF(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	f := mustCreate(t, e, c, "phantom", layout.Fixed(6, 2, 64<<10))
+	var done bool
+	e.Schedule(0, func() {
+		f.WriteZeros(1<<20, 512<<10, func(err error) {
+			if err != nil {
+				t.Errorf("write zeros: %v", err)
+			}
+			done = true
+		})
+	})
+	e.Run()
+	if !done {
+		t.Fatal("phantom write never completed")
+	}
+	if f.Size() != 1<<20+512<<10 {
+		t.Fatalf("EOF = %d", f.Size())
+	}
+	// Nothing materialized on any server.
+	for _, s := range fs.Servers() {
+		if s.StoredBytes() != 0 {
+			t.Fatalf("phantom write stored %d bytes on %s", s.StoredBytes(), s.Name)
+		}
+	}
+}
+
+func TestPhantomReadOfPhantomWriteIsZeros(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	f := mustCreate(t, e, c, "phantom", layout.Fixed(6, 2, 64<<10))
+	var got []byte
+	e.Schedule(0, func() {
+		f.WriteZeros(0, 128<<10, func(error) {
+			f.ReadAt(0, 128<<10, func(data []byte, _ error) { got = data })
+		})
+	})
+	e.Run()
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+// Phantom operations must cost the same virtual time as their real
+// counterparts: the layouts, network transfers and disk services are
+// identical, only the payload handling differs.
+func TestPhantomTimingMatchesReal(t *testing.T) {
+	run := func(phantom bool) sim.Time {
+		e, fs := testbed(t)
+		c := fs.NewClient("c0")
+		f := mustCreate(t, e, c, "f", layout.Fixed(6, 2, 64<<10))
+		var end sim.Time
+		e.Schedule(0, func() {
+			finish := func(error) { end = e.Now() }
+			if phantom {
+				f.WriteZeros(0, 1<<20, func(err error) {
+					f.ReadDiscard(0, 1<<20, finish)
+				})
+			} else {
+				f.WriteAt(make([]byte, 1<<20), 0, func(err error) {
+					f.ReadAt(0, 1<<20, func(_ []byte, err error) { finish(err) })
+				})
+			}
+		})
+		e.Run()
+		return end
+	}
+	real := run(false)
+	phantom := run(true)
+	if real != phantom {
+		t.Fatalf("phantom timing %v differs from real %v", phantom, real)
+	}
+}
+
+func TestPhantomZeroSize(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	f := mustCreate(t, e, c, "f", layout.Fixed(6, 2, 64<<10))
+	calls := 0
+	e.Schedule(0, func() {
+		f.WriteZeros(0, 0, func(error) { calls++ })
+		f.ReadDiscard(0, 0, func(error) { calls++ })
+	})
+	e.Run()
+	if calls != 2 {
+		t.Fatalf("zero-size phantom ops completed %d of 2", calls)
+	}
+}
+
+func TestRename(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	f := mustCreate(t, e, c, "old", layout.Fixed(6, 2, 64<<10))
+	e.Schedule(0, func() { f.WriteAt([]byte("payload"), 0, func(error) {}) })
+	e.Run()
+
+	var renameErr error
+	e.Schedule(0, func() { c.Rename("old", "new", func(err error) { renameErr = err }) })
+	e.Run()
+	if renameErr != nil {
+		t.Fatalf("rename: %v", renameErr)
+	}
+
+	var oldErr error
+	var got []byte
+	e.Schedule(0, func() {
+		c.Open("old", func(_ *File, err error) { oldErr = err })
+		c.Open("new", func(f2 *File, err error) {
+			if err != nil {
+				t.Errorf("open new: %v", err)
+				return
+			}
+			f2.ReadAt(0, 7, func(data []byte, _ error) { got = data })
+		})
+	})
+	e.Run()
+	if oldErr == nil {
+		t.Fatal("old name still resolves")
+	}
+	if string(got) != "payload" {
+		t.Fatalf("data lost in rename: %q", got)
+	}
+
+	// Renaming onto an existing name or from a missing name fails.
+	mustCreate(t, e, c, "blocker", layout.Fixed(6, 2, 64<<10))
+	var errExists, errMissing error
+	e.Schedule(0, func() {
+		c.Rename("new", "blocker", func(err error) { errExists = err })
+		c.Rename("ghost", "whatever", func(err error) { errMissing = err })
+	})
+	e.Run()
+	if errExists == nil || errMissing == nil {
+		t.Fatalf("bad renames accepted: %v, %v", errExists, errMissing)
+	}
+}
+
+func TestUsageAccessors(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	f := mustCreate(t, e, c, "a", layout.Fixed(6, 2, 64<<10))
+	mustCreate(t, e, c, "b", layout.Fixed(6, 2, 64<<10))
+	e.Schedule(0, func() { f.WriteAt(make([]byte, 1<<20), 0, func(error) {}) })
+	e.Run()
+
+	names := fs.FileNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	var total int64
+	for srv := range fs.Servers() {
+		total += fs.FileBytesOn("a", srv)
+	}
+	if total < 1<<20 {
+		t.Fatalf("per-server usage sums to %d, wrote %d", total, 1<<20)
+	}
+	if fs.FileBytesOn("b", 0) != 0 {
+		t.Fatal("empty file shows usage")
+	}
+	if fs.FileBytesOn("ghost", 0) != 0 {
+		t.Fatal("missing file shows usage")
+	}
+	if u := fs.Servers()[0].Utilization(); u <= 0 || u >= 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if fs.Engine() == nil || fs.Network() == nil {
+		t.Fatal("accessors broken")
+	}
+	if c.Name() != "c0" || c.Node() == nil || f.Engine() != e {
+		t.Fatal("client accessors broken")
+	}
+}

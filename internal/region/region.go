@@ -1,0 +1,227 @@
+// Package region implements the file-region division half of HARL:
+// Algorithm 1 of the paper splits a file's address space into contiguous
+// regions whose requests have similar I/O characteristics, using the
+// coefficient of variation (CV) of request sizes as the change detector.
+//
+// The package also provides the fixed-chunk division of the segment-level
+// layout scheme the paper cites as the baseline ([10]), and the threshold
+// auto-tuning loop of Section III-C that bounds the number of regions (and
+// hence the metadata overhead) by loosening the CV sensitivity until the
+// CV-based division produces no more regions than the fixed-size one.
+package region
+
+import (
+	"fmt"
+	"math"
+
+	"harl/internal/stats"
+	"harl/internal/trace"
+)
+
+// Region is one contiguous file chunk with a homogeneous workload.
+type Region struct {
+	Offset   int64   // O_i: first byte of the region
+	End      int64   // exclusive end (start of the next region, or file extent)
+	AvgSize  float64 // A_i: average request size of the region's requests
+	Requests int     // number of trace requests the region serves
+}
+
+// Length returns the region's byte length.
+func (r Region) Length() int64 { return r.End - r.Offset }
+
+// String renders the region for table output.
+func (r Region) String() string {
+	return fmt.Sprintf("[%d,%d) avg=%.0fB reqs=%d", r.Offset, r.End, r.AvgSize, r.Requests)
+}
+
+// DefaultThreshold is Algorithm 1's initial CV-change threshold: a split
+// happens when the CV changes by at least 100% relative to its previous
+// value.
+const DefaultThreshold = 100.0
+
+// Divide runs Algorithm 1 over the trace records, which must be sorted by
+// ascending offset (use Trace.SortByOffset). threshold is the percentage
+// CV-change bound; extent is the logical file size used to close the last
+// region (0 derives it from the trace).
+//
+// Faithful details of the paper's pseudocode that matter for equivalence:
+//
+//   - the CV is recomputed after appending each request to the open region
+//     (population standard deviation over the region's requests so far);
+//   - the request whose arrival moves the CV by >= threshold percent is
+//     *included* in the region it closes, and the next region starts at
+//     the following request;
+//   - the closed region's recorded average includes that final request;
+//   - a region always contains at least two requests before it can split,
+//     since the algorithm starts from the CV of the first two entries;
+//   - the pseudocode's cv_prev starts at 0, making the relative change
+//     undefined while the region is still uniform. The change is computed
+//     against max(cv_prev, 0.01) so that a CV leaving zero registers as a
+//     very large but finite percentage: a uniform prefix still splits the
+//     moment the first differing size arrives at the default threshold,
+//     yet the threshold-raising loop of DivideAdaptive can always loosen
+//     the detector enough to bound the region count.
+func Divide(records []trace.Record, threshold float64, extent int64) []Region {
+	if threshold <= 0 {
+		panic(fmt.Sprintf("region: threshold %v must be positive", threshold))
+	}
+	if len(records) == 0 {
+		return nil
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].Offset < records[i-1].Offset {
+			panic("region: records not sorted by offset")
+		}
+	}
+	if extent <= 0 {
+		for _, r := range records {
+			if end := r.Offset + r.Size; end > extent {
+				extent = end
+			}
+		}
+	}
+
+	var regions []Region
+	var w stats.Welford
+	cvPrev := 0.0
+	regInit := 0 // index of the first request in the open region
+
+	for i, rec := range records {
+		w.Add(float64(rec.Size))
+		cvNew := w.CV()
+
+		if w.N() < 2 {
+			cvPrev = cvNew
+			continue
+		}
+		if relChange(cvNew, cvPrev) < threshold {
+			cvPrev = cvNew
+			continue
+		}
+		// Split: close the region at request i (inclusive).
+		regions = append(regions, Region{
+			Offset:   records[regInit].Offset,
+			AvgSize:  w.Mean(),
+			Requests: i - regInit + 1,
+		})
+		w.Reset()
+		cvPrev = 0
+		regInit = i + 1
+	}
+	// Flush the tail region, if any requests remain in it.
+	if regInit < len(records) {
+		regions = append(regions, Region{
+			Offset:   records[regInit].Offset,
+			AvgSize:  w.Mean(),
+			Requests: len(records) - regInit,
+		})
+	}
+
+	// Close region ends: each region runs to the next region's offset, the
+	// last to the file extent. The first region is anchored at offset 0 so
+	// the table covers the whole address space.
+	if len(regions) > 0 {
+		regions[0].Offset = 0
+		for i := 0; i < len(regions)-1; i++ {
+			regions[i].End = regions[i+1].Offset
+		}
+		last := &regions[len(regions)-1]
+		last.End = extent
+		if last.End <= last.Offset {
+			last.End = last.Offset + 1
+		}
+	}
+	return regions
+}
+
+// cvEpsilon floors the previous CV in the relative-change computation so
+// a CV leaving zero is a large, finite change (see Divide).
+const cvEpsilon = 0.01
+
+// relChange returns the percentage change between the new and previous CV,
+// handling the cv_prev == 0 boundary as documented on Divide.
+func relChange(cvNew, cvPrev float64) float64 {
+	return 100 * math.Abs(cvNew-cvPrev) / math.Max(cvPrev, cvEpsilon)
+}
+
+// FixedDivide is the baseline segment-level division: chop the file
+// [0, extent) into fixed chunkSize regions, attributing to each region the
+// average size of the (offset-sorted) requests that start inside it.
+func FixedDivide(records []trace.Record, chunkSize, extent int64) []Region {
+	if chunkSize <= 0 {
+		panic(fmt.Sprintf("region: chunk size %d must be positive", chunkSize))
+	}
+	if extent <= 0 {
+		for _, r := range records {
+			if end := r.Offset + r.Size; end > extent {
+				extent = end
+			}
+		}
+	}
+	if extent <= 0 {
+		return nil
+	}
+	count := int((extent + chunkSize - 1) / chunkSize)
+	regions := make([]Region, count)
+	sums := make([]float64, count)
+	for i := range regions {
+		regions[i].Offset = int64(i) * chunkSize
+		regions[i].End = regions[i].Offset + chunkSize
+	}
+	regions[count-1].End = extent
+	for _, r := range records {
+		idx := int(r.Offset / chunkSize)
+		if idx >= count {
+			idx = count - 1
+		}
+		regions[idx].Requests++
+		sums[idx] += float64(r.Size)
+	}
+	for i := range regions {
+		if regions[i].Requests > 0 {
+			regions[i].AvgSize = sums[i] / float64(regions[i].Requests)
+		}
+	}
+	return regions
+}
+
+// DefaultChunkSize is the fixed-division granularity the paper mentions
+// (64 MB) for bounding the CV division's region count.
+const DefaultChunkSize int64 = 64 << 20
+
+// DivideAdaptive runs Divide and, if it produces more regions than the
+// fixed-size division would (the metadata-overhead bound of Section
+// III-C), raises the threshold — loosening the sensitivity to request-size
+// variation — until the region count falls within the bound. It returns
+// the regions and the threshold finally used.
+func DivideAdaptive(records []trace.Record, chunkSize, extent int64) ([]Region, float64) {
+	limit := len(FixedDivide(records, chunkSize, extent))
+	if limit < 1 {
+		limit = 1
+	}
+	threshold := DefaultThreshold
+	regions := Divide(records, threshold, extent)
+	for len(regions) > limit && threshold < 1e6 {
+		threshold *= 2
+		regions = Divide(records, threshold, extent)
+	}
+	return regions, threshold
+}
+
+// AssignRequests groups the offset-sorted records by the region containing
+// their starting offset; index i of the result belongs to regions[i]. A
+// request starting past the last region lands in the last region.
+func AssignRequests(regions []Region, records []trace.Record) [][]trace.Record {
+	out := make([][]trace.Record, len(regions))
+	if len(regions) == 0 {
+		return out
+	}
+	ri := 0
+	for _, rec := range records {
+		for ri < len(regions)-1 && rec.Offset >= regions[ri].End {
+			ri++
+		}
+		out[ri] = append(out[ri], rec)
+	}
+	return out
+}

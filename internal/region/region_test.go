@@ -1,0 +1,281 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"harl/internal/device"
+	"harl/internal/trace"
+)
+
+// mkTrace builds offset-sorted records from (offset, size) pairs.
+func mkTrace(pairs ...[2]int64) []trace.Record {
+	recs := make([]trace.Record, len(pairs))
+	for i, p := range pairs {
+		recs[i] = trace.Record{Op: device.Read, Offset: p[0], Size: p[1], End: 1}
+	}
+	return recs
+}
+
+// seqTrace builds n back-to-back requests of the given size starting at off,
+// returning the records and the next free offset.
+func seqTrace(off int64, n int, size int64) ([]trace.Record, int64) {
+	var recs []trace.Record
+	for i := 0; i < n; i++ {
+		recs = append(recs, trace.Record{Op: device.Read, Offset: off, Size: size, End: 1})
+		off += size
+	}
+	return recs, off
+}
+
+func TestDivideUniformWorkloadIsOneRegion(t *testing.T) {
+	recs, end := seqTrace(0, 100, 512<<10)
+	regions := Divide(recs, DefaultThreshold, 0)
+	if len(regions) != 1 {
+		t.Fatalf("uniform workload split into %d regions: %v", len(regions), regions)
+	}
+	r := regions[0]
+	if r.Offset != 0 || r.End != end {
+		t.Fatalf("region bounds [%d,%d), want [0,%d)", r.Offset, r.End, end)
+	}
+	if r.AvgSize != 512<<10 || r.Requests != 100 {
+		t.Fatalf("region stats %+v", r)
+	}
+}
+
+func TestDivideDetectsWorkloadChange(t *testing.T) {
+	// Phase 1: 50 x 512KB; Phase 2: 50 x 4KB. CV leaves zero exactly when
+	// the first 4KB request arrives.
+	p1, next := seqTrace(0, 50, 512<<10)
+	p2, _ := seqTrace(next, 50, 4<<10)
+	recs := append(p1, p2...)
+	regions := Divide(recs, DefaultThreshold, 0)
+	if len(regions) < 2 {
+		t.Fatalf("change not detected: %v", regions)
+	}
+	// The first region's boundary must fall at the phase change (the
+	// triggering request is included in the closed region).
+	if regions[0].End != next+4<<10 {
+		t.Fatalf("first region ends at %d, phase boundary is %d (+1 request)", regions[0].End, next)
+	}
+	if regions[0].AvgSize >= 512<<10 || regions[0].AvgSize <= 4<<10 {
+		t.Fatalf("first region avg %.0f should sit between the two phases' sizes", regions[0].AvgSize)
+	}
+}
+
+func TestDivideSecondRequestDoesNotSplitAlone(t *testing.T) {
+	// A region must gather at least two requests before it can split, per
+	// the paper's "reads the first two entries".
+	recs := mkTrace([2]int64{0, 512 << 10}, [2]int64{512 << 10, 4 << 10})
+	regions := Divide(recs, DefaultThreshold, 0)
+	if len(regions) == 0 {
+		t.Fatal("no regions")
+	}
+	if regions[0].Requests < 2 {
+		t.Fatalf("first region has %d requests, want >= 2", regions[0].Requests)
+	}
+}
+
+func TestDivideEmptyTrace(t *testing.T) {
+	if regions := Divide(nil, DefaultThreshold, 0); regions != nil {
+		t.Fatalf("empty trace produced %v", regions)
+	}
+}
+
+func TestDivideRejectsBadInput(t *testing.T) {
+	recs := mkTrace([2]int64{100, 1}, [2]int64{0, 1}) // unsorted
+	mustPanic(t, func() { Divide(recs, DefaultThreshold, 0) })
+	mustPanic(t, func() { Divide(nil, 0, 0) })
+	mustPanic(t, func() { Divide(nil, -5, 0) })
+}
+
+func TestDivideCoversAddressSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var recs []trace.Record
+	off := int64(0)
+	for p := 0; p < 4; p++ {
+		size := int64(4<<10) << uint(rng.Intn(8))
+		var chunk []trace.Record
+		chunk, off = seqTrace(off, 30, size)
+		recs = append(recs, chunk...)
+	}
+	regions := Divide(recs, DefaultThreshold, 0)
+	if regions[0].Offset != 0 {
+		t.Fatalf("first region starts at %d", regions[0].Offset)
+	}
+	for i := 1; i < len(regions); i++ {
+		if regions[i].Offset != regions[i-1].End {
+			t.Fatalf("gap between region %d and %d: %v", i-1, i, regions)
+		}
+	}
+	if last := regions[len(regions)-1]; last.End != off {
+		t.Fatalf("last region ends at %d, extent %d", last.End, off)
+	}
+}
+
+func TestDivideHigherThresholdMakesFewerRegions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var recs []trace.Record
+	off := int64(0)
+	for i := 0; i < 400; i++ {
+		size := int64(rng.Intn(1<<20) + 4096)
+		recs = append(recs, trace.Record{Op: device.Read, Offset: off, Size: size, End: 1})
+		off += size
+	}
+	loose := Divide(recs, 800, 0)
+	tight := Divide(recs, DefaultThreshold, 0)
+	if len(loose) > len(tight) {
+		t.Fatalf("threshold 800%% gave %d regions, 100%% gave %d", len(loose), len(tight))
+	}
+}
+
+func TestFixedDivide(t *testing.T) {
+	recs, _ := seqTrace(0, 10, 1<<20) // extent 10MB
+	regions := FixedDivide(recs, 4<<20, 0)
+	if len(regions) != 3 {
+		t.Fatalf("regions = %d, want 3", len(regions))
+	}
+	if regions[2].End != 10<<20 {
+		t.Fatalf("last region end = %d", regions[2].End)
+	}
+	// 4 requests start in region 0 ([0,4M)), 4 in region 1, 2 in region 2.
+	if regions[0].Requests != 4 || regions[1].Requests != 4 || regions[2].Requests != 2 {
+		t.Fatalf("request counts: %+v", regions)
+	}
+	if regions[0].AvgSize != 1<<20 {
+		t.Fatalf("avg = %v", regions[0].AvgSize)
+	}
+	mustPanic(t, func() { FixedDivide(recs, 0, 0) })
+	if FixedDivide(nil, 1<<20, 0) != nil {
+		t.Fatal("no records and no extent should give no regions")
+	}
+}
+
+func TestDivideAdaptiveBoundsRegionCount(t *testing.T) {
+	// Adversarial workload: sizes alternate wildly, so the CV jumps on
+	// nearly every request at 100% threshold.
+	var recs []trace.Record
+	off := int64(0)
+	for i := 0; i < 2000; i++ {
+		size := int64(4 << 10)
+		if i%2 == 1 {
+			size = 2 << 20
+		}
+		recs = append(recs, trace.Record{Op: device.Read, Offset: off, Size: size, End: 1})
+		off += size
+	}
+	limit := len(FixedDivide(recs, DefaultChunkSize, 0))
+	regions, threshold := DivideAdaptive(recs, DefaultChunkSize, 0)
+	if len(regions) > limit {
+		t.Fatalf("adaptive gave %d regions, fixed-size bound is %d", len(regions), limit)
+	}
+	if threshold <= DefaultThreshold {
+		t.Fatalf("threshold %v should have been raised above %v", threshold, DefaultThreshold)
+	}
+}
+
+func TestDivideAdaptiveKeepsDefaultWhenFine(t *testing.T) {
+	recs, _ := seqTrace(0, 100, 512<<10)
+	regions, threshold := DivideAdaptive(recs, DefaultChunkSize, 0)
+	if threshold != DefaultThreshold {
+		t.Fatalf("threshold moved to %v for a uniform workload", threshold)
+	}
+	if len(regions) != 1 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+}
+
+func TestAssignRequests(t *testing.T) {
+	p1, next := seqTrace(0, 50, 512<<10)
+	p2, _ := seqTrace(next, 50, 4<<10)
+	recs := append(p1, p2...)
+	regions := Divide(recs, DefaultThreshold, 0)
+	groups := AssignRequests(regions, recs)
+	if len(groups) != len(regions) {
+		t.Fatalf("groups = %d, regions = %d", len(groups), len(regions))
+	}
+	var total int
+	for i, g := range groups {
+		total += len(g)
+		for _, rec := range g {
+			if rec.Offset < regions[i].Offset || (i < len(regions)-1 && rec.Offset >= regions[i].End) {
+				t.Fatalf("request at %d assigned to region %v", rec.Offset, regions[i])
+			}
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("assigned %d of %d requests", total, len(recs))
+	}
+	if len(AssignRequests(nil, recs)) != 0 {
+		t.Fatal("no regions should give no groups")
+	}
+}
+
+// Property: Divide conserves requests — region request counts sum to the
+// trace length — and region boundaries are strictly increasing.
+func TestDivideConservationProperty(t *testing.T) {
+	prop := func(seed int64, n16 uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n16%500) + 1
+		recs := make([]trace.Record, n)
+		off := int64(0)
+		for i := range recs {
+			size := int64(rng.Intn(1<<21) + 1)
+			recs[i] = trace.Record{Op: device.Read, Offset: off, Size: size, End: 1}
+			off += int64(rng.Intn(int(size))) + 1
+		}
+		regions := Divide(recs, DefaultThreshold, 0)
+		var total int
+		for i, r := range regions {
+			total += r.Requests
+			if i > 0 && r.Offset != regions[i-1].End {
+				return false
+			}
+			if r.End <= r.Offset {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the adaptive division never exceeds the fixed-size bound.
+func TestDivideAdaptiveBoundProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var recs []trace.Record
+		off := int64(0)
+		for i := 0; i < 300; i++ {
+			size := int64(rng.Intn(2<<20) + 512)
+			recs = append(recs, trace.Record{Op: device.Read, Offset: off, Size: size, End: 1})
+			off += size
+		}
+		limit := len(FixedDivide(recs, DefaultChunkSize, 0))
+		regions, _ := DivideAdaptive(recs, DefaultChunkSize, 0)
+		return len(regions) <= limit
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	r := Region{Offset: 0, End: 128 << 20, AvgSize: 65536, Requests: 42}
+	if r.String() == "" || r.Length() != 128<<20 {
+		t.Fatal("String/Length broken")
+	}
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	fn()
+}

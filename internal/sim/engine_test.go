@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*Millisecond, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != Time(30*Millisecond) {
+		t.Fatalf("end = %v, want 30ms", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestEngineTieBreaksBySchedulingOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.Schedule(Millisecond, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(2*Millisecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if fired[0] != Time(Millisecond) || fired[1] != Time(3*Millisecond) {
+		t.Fatalf("fired at %v, want [1ms 3ms]", fired)
+	}
+}
+
+func TestEngineZeroDelayRunsAtCurrentTime(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(7*Millisecond, func() {
+		e.Schedule(0, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != Time(7*Millisecond) {
+		t.Fatalf("zero-delay event at %v, want 7ms", at)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Schedule(Millisecond, func() { n++; e.Stop() })
+	e.Schedule(2*Millisecond, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("executed %d events before stop, want 1", n)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(Millisecond, func() { got = append(got, 1) })
+	e.Schedule(5*Millisecond, func() { got = append(got, 2) })
+	e.RunUntil(Time(3 * Millisecond))
+	if len(got) != 1 {
+		t.Fatalf("got %v, want only the first event", got)
+	}
+	if e.Now() != Time(3*Millisecond) {
+		t.Fatalf("now = %v, want deadline 3ms", e.Now())
+	}
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("remaining event did not run: %v", got)
+	}
+}
+
+func TestEngineRejectsPastAndNegative(t *testing.T) {
+	e := NewEngine(1)
+	mustPanic(t, func() { e.Schedule(-1, func() {}) })
+	e.Schedule(Millisecond, func() {
+		mustPanic(t, func() { e.ScheduleAt(0, func() {}) })
+	})
+	e.Run()
+	mustPanic(t, func() { e.ScheduleAt(e.Now(), nil) })
+}
+
+func TestEngineDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(42)
+		var stamps []Time
+		var tick func()
+		tick = func() {
+			stamps = append(stamps, e.Now())
+			if len(stamps) < 50 {
+				jitter := Duration(e.Rand().Int63n(int64(Millisecond)))
+				e.Schedule(jitter, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverges at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDurationOf(t *testing.T) {
+	if d := DurationOf(1.5); d != Duration(1500*Millisecond) {
+		t.Fatalf("DurationOf(1.5) = %v", d)
+	}
+	if d := DurationOf(0); d != 0 {
+		t.Fatalf("DurationOf(0) = %v", d)
+	}
+	mustPanic(t, func() { DurationOf(-1) })
+}
+
+func TestBytesDuration(t *testing.T) {
+	// 100 MB at 100 MB/s is one second.
+	if d := BytesDuration(100<<20, 100<<20); d != Second {
+		t.Fatalf("BytesDuration = %v, want 1s", d)
+	}
+	if d := BytesDuration(0, 1); d != 0 {
+		t.Fatalf("zero bytes should take zero time, got %v", d)
+	}
+	mustPanic(t, func() { BytesDuration(1, 0) })
+}
+
+// Property: the virtual clock never goes backwards, regardless of the
+// delays scheduled.
+func TestClockMonotoneProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine(7)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Duration(d)*Microsecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,182 @@
+package sim
+
+import "fmt"
+
+// Resource models a station that serves work sequentially on a fixed number
+// of identical service slots (a disk has one head, a duplex link has one
+// lane per direction, a RAID device may have several). Work is admitted in
+// request order: each request occupies the earliest-available slot for its
+// service duration. This is an analytic FIFO queue — service times are known
+// at submission, so queueing delay is computed exactly without per-byte
+// events, which keeps large simulations fast while still modelling
+// contention faithfully.
+type Resource struct {
+	engine *Engine
+	name   string
+	free   []Time // next instant each slot becomes idle
+
+	// Accounting for utilization and queueing reports.
+	Served    uint64
+	BusyTotal Duration
+	WaitTotal Duration
+}
+
+// NewResource creates a resource with the given number of service slots.
+func NewResource(e *Engine, name string, slots int) *Resource {
+	if slots <= 0 {
+		panic(fmt.Sprintf("sim: resource %q needs >=1 slot, got %d", name, slots))
+	}
+	return &Resource{engine: e, name: name, free: make([]Time, slots)}
+}
+
+// Name returns the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Use submits a unit of work taking service virtual time and schedules
+// done(start, end) for when it completes. start is when the work actually
+// begins (after any queueing delay) and end = start + service. done may be
+// nil when only the resource occupancy matters.
+func (r *Resource) Use(service Duration, done func(start, end Time)) (start, end Time) {
+	return r.UseAt(r.engine.Now(), service, done)
+}
+
+// UseAt is Use with an explicit earliest start time, which must not
+// precede the current virtual time. It lets callers compose reservations
+// across resources — e.g. a network transfer that occupies the receiver's
+// lane one propagation delay after the sender's.
+func (r *Resource) UseAt(earliest Time, service Duration, done func(start, end Time)) (start, end Time) {
+	if service < 0 {
+		panic(fmt.Sprintf("sim: resource %q negative service %v", r.name, service))
+	}
+	now := r.engine.Now()
+	if earliest < now {
+		panic(fmt.Sprintf("sim: resource %q earliest %v before now %v", r.name, earliest, now))
+	}
+	// Earliest-free slot; ties resolve to the lowest index for determinism.
+	best := 0
+	for i := 1; i < len(r.free); i++ {
+		if r.free[i] < r.free[best] {
+			best = i
+		}
+	}
+	start = r.free[best]
+	if start < earliest {
+		start = earliest
+	}
+	end = start.Add(service)
+	r.free[best] = end
+
+	r.Served++
+	r.BusyTotal += service
+	r.WaitTotal += start.Sub(earliest)
+
+	if done != nil {
+		r.engine.ScheduleAt(end, func() { done(start, end) })
+	}
+	return start, end
+}
+
+// NextFree returns the earliest time any slot is idle, never before now.
+func (r *Resource) NextFree() Time {
+	best := r.free[0]
+	for _, t := range r.free[1:] {
+		if t < best {
+			best = t
+		}
+	}
+	if now := r.engine.Now(); best < now {
+		return now
+	}
+	return best
+}
+
+// Utilization reports the fraction of elapsed virtual time the resource's
+// slots spent busy, aggregated across slots. It is meaningful after a run.
+func (r *Resource) Utilization() float64 {
+	elapsed := r.engine.Now().Sub(0)
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.BusyTotal.Seconds() / (elapsed.Seconds() * float64(len(r.free)))
+}
+
+// Countdown invokes a callback once a fixed number of completions arrive.
+// It is the completion primitive for scatter-gather operations: a striped
+// request finishes when its last sub-request finishes, a collective I/O
+// phase finishes when every participating rank arrives.
+type Countdown struct {
+	remaining int
+	fn        func()
+	fired     bool
+}
+
+// NewCountdown returns a countdown that calls fn after n Done calls.
+// n == 0 is allowed; the callback then fires on construction via the
+// engine's current event, keeping zero-fragment edge cases uniform.
+func NewCountdown(n int, fn func()) *Countdown {
+	c := &Countdown{remaining: n, fn: fn}
+	if n == 0 {
+		c.fire()
+	}
+	return c
+}
+
+func (c *Countdown) fire() {
+	if c.fired {
+		panic("sim: countdown fired twice")
+	}
+	c.fired = true
+	if c.fn != nil {
+		c.fn()
+	}
+}
+
+// Done records one completion; the n-th call fires the callback.
+func (c *Countdown) Done() {
+	if c.fired {
+		panic("sim: countdown Done after fire")
+	}
+	c.remaining--
+	if c.remaining == 0 {
+		c.fire()
+	}
+}
+
+// Remaining reports how many completions are still outstanding.
+func (c *Countdown) Remaining() int { return c.remaining }
+
+// Barrier synchronizes a fixed party of processes: the callback passed to
+// each Arrive call is deferred until all parties have arrived, then all
+// callbacks run at the arrival time of the last party (in arrival order).
+// The barrier then resets for the next round, matching MPI_Barrier
+// semantics for a communicator of Parties ranks.
+type Barrier struct {
+	engine  *Engine
+	parties int
+	waiting []func()
+}
+
+// NewBarrier creates a barrier for the given number of parties.
+func NewBarrier(e *Engine, parties int) *Barrier {
+	if parties <= 0 {
+		panic(fmt.Sprintf("sim: barrier needs >=1 party, got %d", parties))
+	}
+	return &Barrier{engine: e, parties: parties}
+}
+
+// Arrive registers one party; resume runs when the round completes.
+func (b *Barrier) Arrive(resume func()) {
+	b.waiting = append(b.waiting, resume)
+	if len(b.waiting) == b.parties {
+		round := b.waiting
+		b.waiting = nil
+		for _, fn := range round {
+			if fn != nil {
+				b.engine.Schedule(0, fn)
+			}
+		}
+	}
+}
+
+// Waiting reports how many parties have arrived in the current round.
+func (b *Barrier) Waiting() int { return len(b.waiting) }

@@ -1,0 +1,71 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate every simulated component in this repository
+// is built on: storage devices, network links, file servers, and benchmark
+// processes all advance a single virtual clock by scheduling events on an
+// Engine. Simulations are fully deterministic: given the same seed and the
+// same sequence of Schedule calls, two runs produce identical event orders
+// and identical virtual timestamps.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point on the virtual clock, in nanoseconds since the start of
+// the simulation. It is deliberately an integer type: floating-point clocks
+// accumulate rounding error and break determinism across platforms.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration so the familiar unit constants below read naturally.
+type Duration int64
+
+// Virtual time unit constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add advances a time by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts the virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration in time.Duration notation.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// DurationOf converts floating-point seconds to a virtual Duration,
+// rounding to the nearest nanosecond. It panics on negative or
+// non-finite inputs, which always indicate a modelling bug.
+func DurationOf(seconds float64) Duration {
+	if seconds < 0 || seconds != seconds || seconds > 1e12 {
+		panic(fmt.Sprintf("sim: invalid duration %v seconds", seconds))
+	}
+	return Duration(seconds*float64(Second) + 0.5)
+}
+
+// BytesDuration returns the time to move n bytes at rate bytesPerSec.
+// It is the standard conversion used by the device and network models.
+func BytesDuration(n int64, bytesPerSec float64) Duration {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("sim: invalid rate %v B/s", bytesPerSec))
+	}
+	if n <= 0 {
+		return 0
+	}
+	return DurationOf(float64(n) / bytesPerSec)
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts samples into fixed-width bins over [Lo, Hi). Samples
+// outside the range are clamped into the edge bins so totals are conserved;
+// benchmark reports use it to show request-size and latency distributions.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) x%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// String renders an ASCII bar chart, one bin per line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := int64(1)
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", int(40*c/maxC))
+		fmt.Fprintf(&b, "[%10.3g,%10.3g) %8d %s\n", h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, bar)
+	}
+	return b.String()
+}
+
+// Throughput converts bytes moved in a span of seconds to MB/s (MB =
+// 2^20 bytes, the unit IOR reports).
+func Throughput(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		if bytes == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(bytes) / (1 << 20) / seconds
+}
+
+// Speedup returns the relative improvement of measured over baseline as the
+// percentage the paper quotes ("improves by X%"): (measured-baseline)/baseline*100.
+func Speedup(measured, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (measured - baseline) / baseline * 100
+}
+
+// SortedCopy returns an ascending copy of xs, leaving xs untouched.
+func SortedCopy(xs []float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s
+}

@@ -1,0 +1,182 @@
+// Package stats provides the small statistics toolkit the rest of the
+// repository shares: moments, coefficient of variation (the splitting
+// criterion of HARL's region-division algorithm), percentiles, histograms,
+// and throughput accounting for benchmark reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs (the paper's
+// Algorithm 1 divides by n, not n-1), or 0 for fewer than one sample.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// CV returns the coefficient of variation std/mean — the normalized
+// dispersion measure Algorithm 1 uses to detect I/O behaviour changes.
+// A zero mean yields CV 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the smallest element; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It panics on an empty
+// slice or out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Welford accumulates mean and variance online in a single pass. The
+// region-division algorithm recomputes CV as each request is appended to
+// the open region; Welford makes that O(1) per request instead of O(n).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// CV returns the running coefficient of variation (0 if the mean is 0).
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / w.mean
+}
+
+// Reset clears the accumulator for a new region.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Summary holds the descriptive statistics reported by benchmark drivers.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CV     float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs; the zero Summary is returned for an
+// empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		CV:     CV(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		P50:    Percentile(xs, 50),
+		P95:    Percentile(xs, 95),
+		P99:    Percentile(xs, 99),
+	}
+}
+
+// String renders the summary on one line for log output.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g cv=%.3f min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.CV, s.Min, s.P50, s.P95, s.P99, s.Max)
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestMeanStdCV(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "Mean")
+	approx(t, StdDev(xs), 2, 1e-12, "StdDev") // classic population-stddev example
+	approx(t, CV(xs), 0.4, 1e-12, "CV")
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || CV(nil) != 0 {
+		t.Fatal("empty inputs should give zero moments")
+	}
+	if CV([]float64{0, 0, 0}) != 0 {
+		t.Fatal("zero-mean CV should be 0")
+	}
+	if StdDev([]float64{42}) != 0 {
+		t.Fatal("single sample has zero stddev")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	mustPanic(t, func() { Min(nil) })
+	mustPanic(t, func() { Max(nil) })
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, Percentile(xs, 0), 1, 1e-12, "P0")
+	approx(t, Percentile(xs, 50), 3, 1e-12, "P50")
+	approx(t, Percentile(xs, 100), 5, 1e-12, "P100")
+	approx(t, Percentile(xs, 25), 2, 1e-12, "P25")
+	approx(t, Percentile(xs, 10), 1.4, 1e-12, "P10 interpolated")
+	approx(t, Percentile([]float64{9}, 73), 9, 1e-12, "single sample")
+	mustPanic(t, func() { Percentile(nil, 50) })
+	mustPanic(t, func() { Percentile(xs, -1) })
+	mustPanic(t, func() { Percentile(xs, 101) })
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{65536, 65536, 131072, 4096, 4096, 1048576, 512}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	approx(t, w.Mean(), Mean(xs), 1e-6, "Welford mean")
+	approx(t, w.StdDev(), StdDev(xs), 1e-6, "Welford std")
+	approx(t, w.CV(), CV(xs), 1e-9, "Welford CV")
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", w.N(), len(xs))
+	}
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 || w.StdDev() != 0 {
+		t.Fatal("Reset did not clear accumulator")
+	}
+}
+
+// Property: Welford's running moments agree with the batch formulas for
+// arbitrary inputs.
+func TestWelfordProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, r := range raw {
+			xs[i] = float64(r%1<<20) + 1
+			w.Add(xs[i])
+		}
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-6*w.Mean()+1e-9 &&
+			math.Abs(w.StdDev()-StdDev(xs)) < 1e-6*w.Mean()+1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CV is scale-invariant — multiplying all samples by a positive
+// constant leaves it unchanged.
+func TestCVScaleInvarianceProperty(t *testing.T) {
+	prop := func(raw []uint16, scale uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		k := float64(scale%100) + 1
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			ys[i] = k * xs[i]
+		}
+		return math.Abs(CV(xs)-CV(ys)) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("P50 = %v, want 3", s.P50)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	if s.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.9, 10, 999} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d, want 7", h.Total())
+	}
+	// -1, 0, 1.9 clamp/fall into bin 0; 2 into bin 1; 9.9, 10, 999 into bin 4.
+	if h.Counts[0] != 3 || h.Counts[1] != 1 || h.Counts[4] != 3 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.String() == "" {
+		t.Fatal("String should render")
+	}
+	mustPanic(t, func() { NewHistogram(0, 0, 5) })
+	mustPanic(t, func() { NewHistogram(0, 1, 0) })
+}
+
+func TestThroughputAndSpeedup(t *testing.T) {
+	approx(t, Throughput(100<<20, 2), 50, 1e-9, "Throughput")
+	if Throughput(0, 0) != 0 {
+		t.Fatal("0 bytes / 0 s should be 0")
+	}
+	if !math.IsInf(Throughput(1, 0), 1) {
+		t.Fatal("bytes in zero time should be +Inf")
+	}
+	approx(t, Speedup(150, 100), 50, 1e-9, "Speedup")
+	approx(t, Speedup(64, 100), -36, 1e-9, "negative speedup")
+	if Speedup(1, 0) != 0 {
+		t.Fatal("zero baseline should yield 0")
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := SortedCopy(xs)
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Fatalf("sorted = %v", s)
+	}
+	if xs[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	fn()
+}

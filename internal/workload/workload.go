@@ -1,0 +1,136 @@
+// Package workload synthesizes I/O request streams and IOSIG-style
+// traces beyond the IOR/BTIO ports: phase-structured, bursty and skewed
+// patterns used by tests, examples and the tracegen tool to exercise
+// HARL's region division on workload families the benchmarks don't
+// produce. All generators are deterministic from a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"harl/internal/device"
+	"harl/internal/sim"
+	"harl/internal/trace"
+)
+
+// Phase is one contiguous stretch of a file accessed with a homogeneous
+// pattern.
+type Phase struct {
+	Requests int       // number of requests
+	Size     int64     // request size in bytes
+	Op       device.Op // operation type
+	// Jitter perturbs each request size uniformly by ±Jitter fraction
+	// (0 = all equal; 0.1 = ±10%). Sizes stay >= 1.
+	Jitter float64
+}
+
+// Validate reports whether the phase is generatable.
+func (p Phase) Validate() error {
+	switch {
+	case p.Requests <= 0:
+		return fmt.Errorf("workload: phase needs >= 1 request, got %d", p.Requests)
+	case p.Size <= 0:
+		return fmt.Errorf("workload: invalid request size %d", p.Size)
+	case p.Jitter < 0 || p.Jitter >= 1:
+		return fmt.Errorf("workload: jitter %v outside [0,1)", p.Jitter)
+	}
+	return nil
+}
+
+// Phased generates back-to-back phases laid out contiguously in the file
+// — the multi-phase application pattern Algorithm 1 is designed to split.
+func Phased(seed int64, phases ...Phase) (*trace.Trace, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: no phases")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{}
+	off := int64(0)
+	ts := sim.Time(0)
+	for pi, p := range phases {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: phase %d: %w", pi, err)
+		}
+		for i := 0; i < p.Requests; i++ {
+			size := p.Size
+			if p.Jitter > 0 {
+				span := float64(p.Size) * p.Jitter
+				size = p.Size + int64((rng.Float64()*2-1)*span)
+				if size < 1 {
+					size = 1
+				}
+			}
+			tr.Records = append(tr.Records, trace.Record{
+				PID: 1000, Rank: i % 16, FD: 3,
+				Op: p.Op, Offset: off, Size: size,
+				Start: ts, End: ts + 1,
+			})
+			off += size
+			ts++
+		}
+	}
+	return tr, nil
+}
+
+// Bursty generates alternating large sequential bursts and scattered
+// small accesses over a fixed extent — a checkpoint-plus-metadata
+// pattern. Offsets of small accesses are drawn uniformly over the
+// already-written extent, so the trace is NOT offset-sorted.
+func Bursty(seed int64, bursts int, burstSize, smallSize int64, smallPerBurst int) (*trace.Trace, error) {
+	if bursts <= 0 || burstSize <= 0 || smallSize <= 0 || smallPerBurst < 0 {
+		return nil, fmt.Errorf("workload: invalid bursty parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{}
+	off := int64(0)
+	ts := sim.Time(0)
+	for b := 0; b < bursts; b++ {
+		tr.Records = append(tr.Records, trace.Record{
+			PID: 1000, Rank: b % 16, FD: 3,
+			Op: device.Write, Offset: off, Size: burstSize,
+			Start: ts, End: ts + 1,
+		})
+		off += burstSize
+		ts++
+		for i := 0; i < smallPerBurst; i++ {
+			tr.Records = append(tr.Records, trace.Record{
+				PID: 1000, Rank: i % 16, FD: 3,
+				Op: device.Read, Offset: rng.Int63n(off), Size: smallSize,
+				Start: ts, End: ts + 1,
+			})
+			ts++
+		}
+	}
+	return tr, nil
+}
+
+// Skewed generates accesses whose offsets follow a Zipf-like
+// distribution over fixed-size blocks: a hot front of the file absorbs
+// most requests. The trace is not offset-sorted.
+func Skewed(seed int64, requests int, blockSize int64, blocks int, zipfS float64) (*trace.Trace, error) {
+	if requests <= 0 || blockSize <= 0 || blocks <= 0 {
+		return nil, fmt.Errorf("workload: invalid skewed parameters")
+	}
+	if zipfS <= 1 {
+		return nil, fmt.Errorf("workload: zipf s must exceed 1, got %v", zipfS)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(blocks-1))
+	tr := &trace.Trace{}
+	ts := sim.Time(0)
+	for i := 0; i < requests; i++ {
+		block := int64(zipf.Uint64())
+		op := device.Read
+		if rng.Intn(4) == 0 {
+			op = device.Write
+		}
+		tr.Records = append(tr.Records, trace.Record{
+			PID: 1000, Rank: i % 16, FD: 3,
+			Op: op, Offset: block * blockSize, Size: blockSize,
+			Start: ts, End: ts + 1,
+		})
+		ts++
+	}
+	return tr, nil
+}

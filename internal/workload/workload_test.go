@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"harl/internal/device"
+	"harl/internal/region"
+)
+
+func TestPhasedContiguousLayout(t *testing.T) {
+	tr, err := Phased(1,
+		Phase{Requests: 10, Size: 1 << 20, Op: device.Write},
+		Phase{Requests: 20, Size: 64 << 10, Op: device.Read},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 30 {
+		t.Fatalf("records = %d", tr.Len())
+	}
+	// Contiguous: each record starts where the previous ended.
+	off := int64(0)
+	for i, r := range tr.Records {
+		if r.Offset != off {
+			t.Fatalf("record %d at %d, want %d", i, r.Offset, off)
+		}
+		off += r.Size
+	}
+	// Phase boundary: ops switch at record 10.
+	if tr.Records[9].Op != device.Write || tr.Records[10].Op != device.Read {
+		t.Fatal("phase ops wrong")
+	}
+}
+
+func TestPhasedJitterStaysBounded(t *testing.T) {
+	tr, err := Phased(2, Phase{Requests: 500, Size: 100 << 10, Op: device.Read, Jitter: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := int64(float64(100<<10) * 0.79)
+	hi := int64(float64(100<<10) * 1.21)
+	varied := false
+	for _, r := range tr.Records {
+		if r.Size < lo || r.Size > hi {
+			t.Fatalf("size %d outside jitter bounds [%d,%d]", r.Size, lo, hi)
+		}
+		if r.Size != 100<<10 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced no variation")
+	}
+}
+
+func TestPhasedFeedsRegionDivision(t *testing.T) {
+	// The canonical use: a two-phase workload must split into two regions.
+	tr, err := Phased(3,
+		Phase{Requests: 100, Size: 2 << 20, Op: device.Write},
+		Phase{Requests: 100, Size: 16 << 10, Op: device.Write},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SortByOffset()
+	regions := region.Divide(tr.Records, region.DefaultThreshold, 0)
+	if len(regions) < 2 {
+		t.Fatalf("phased workload produced %d regions", len(regions))
+	}
+}
+
+func TestPhasedErrors(t *testing.T) {
+	if _, err := Phased(1); err == nil {
+		t.Fatal("no phases accepted")
+	}
+	bad := []Phase{
+		{Requests: 0, Size: 1},
+		{Requests: 1, Size: 0},
+		{Requests: 1, Size: 1, Jitter: -0.1},
+		{Requests: 1, Size: 1, Jitter: 1.0},
+	}
+	for i, p := range bad {
+		if _, err := Phased(1, p); err == nil {
+			t.Errorf("bad phase %d accepted", i)
+		}
+	}
+}
+
+func TestBursty(t *testing.T) {
+	tr, err := Bursty(4, 5, 8<<20, 4<<10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5*11 {
+		t.Fatalf("records = %d", tr.Len())
+	}
+	sum := tr.Summarize()
+	if sum.Writes != 5 || sum.Reads != 50 {
+		t.Fatalf("ops = %d writes / %d reads", sum.Writes, sum.Reads)
+	}
+	// Small reads must land inside the written extent.
+	written := int64(0)
+	for _, r := range tr.Records {
+		if r.Op == device.Write {
+			written = r.Offset + r.Size
+		} else if r.Offset >= written {
+			t.Fatalf("read at %d beyond written extent %d", r.Offset, written)
+		}
+	}
+	if _, err := Bursty(1, 0, 1, 1, 1); err == nil {
+		t.Fatal("invalid bursty accepted")
+	}
+}
+
+func TestSkewedConcentratesOnHotBlocks(t *testing.T) {
+	tr, err := Skewed(5, 5000, 64<<10, 1024, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	for _, r := range tr.Records {
+		counts[r.Offset]++
+		if r.Offset%(64<<10) != 0 {
+			t.Fatalf("offset %d not block aligned", r.Offset)
+		}
+		if r.Offset >= 1024*64<<10 {
+			t.Fatalf("offset %d beyond extent", r.Offset)
+		}
+	}
+	// Block 0 must absorb a disproportionate share.
+	if counts[0] < 5000/10 {
+		t.Fatalf("hot block got %d of 5000 requests; distribution not skewed", counts[0])
+	}
+	if _, err := Skewed(1, 10, 1, 10, 1.0); err == nil {
+		t.Fatal("zipf s <= 1 accepted")
+	}
+	if _, err := Skewed(1, 0, 1, 10, 2); err == nil {
+		t.Fatal("invalid skewed accepted")
+	}
+}
+
+// Property: generators are deterministic and every emitted record is
+// valid.
+func TestGeneratorValidityProperty(t *testing.T) {
+	prop := func(seed int64, n8 uint8) bool {
+		n := int(n8%20) + 1
+		a, err := Phased(seed, Phase{Requests: n, Size: 4096, Op: device.Read, Jitter: 0.5})
+		if err != nil {
+			return false
+		}
+		b, _ := Phased(seed, Phase{Requests: n, Size: 4096, Op: device.Read, Jitter: 0.5})
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := range a.Records {
+			if a.Records[i] != b.Records[i] {
+				return false
+			}
+			if a.Records[i].Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
