@@ -124,6 +124,7 @@ func cmdOptimize(args []string) error {
 	chunk := fs.Int64("chunk", region.DefaultChunkSize, "region-count bound chunk")
 	step := fs.Int64("step", harl.DefaultStep, "Algorithm 2 grid step")
 	tiers := fs.Bool("tiers", false, "three-tier mode: hservers HDDs + 1 SATA SSD + 1 PCIe SSD, tiered RST output")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS; the plan is identical at every setting)")
 	fs.Parse(args)
 	if *path == "" || *out == "" {
 		return fmt.Errorf("-trace and -out are required")
@@ -140,7 +141,7 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	plan, err := harl.Planner{Params: params, ChunkSize: *chunk, Step: *step}.Analyze(tr)
+	plan, err := harl.Planner{Params: params, ChunkSize: *chunk, Step: *step, Parallelism: *parallel}.Analyze(tr)
 	if err != nil {
 		return err
 	}

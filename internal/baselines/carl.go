@@ -33,10 +33,11 @@ type CARLPlanner struct {
 	// paper's CARL works under an SSD space constraint). Zero means a
 	// quarter of the file, a typical cache provisioning.
 	SSDBudget int64
-	// ChunkSize, Step, MaxRequests mirror harl.Planner.
+	// ChunkSize, Step, MaxRequests, Parallelism mirror harl.Planner.
 	ChunkSize   int64
 	Step        int64
 	MaxRequests int
+	Parallelism int
 }
 
 // Analyze produces the CARL placement as an RST (regions are {0,s} or
@@ -70,8 +71,8 @@ func (pl CARLPlanner) Analyze(tr *trace.Trace) (*harl.Plan, error) {
 	// Score each region's cost density (model cost per byte) under an
 	// SSD-only placement: the regions that gain most per SSD byte go
 	// first, CARL's selection criterion.
-	hOnly := harl.Optimizer{Params: hdOnlyParams(pl.Params), Step: pl.Step, MaxRequests: pl.MaxRequests}
-	sOnly := harl.Optimizer{Params: ssdOnlyParams(pl.Params), Step: pl.Step, MaxRequests: pl.MaxRequests}
+	hOnly := harl.Optimizer{Params: hdOnlyParams(pl.Params), Step: pl.Step, MaxRequests: pl.MaxRequests, Parallelism: pl.Parallelism}
+	sOnly := harl.Optimizer{Params: ssdOnlyParams(pl.Params), Step: pl.Step, MaxRequests: pl.MaxRequests, Parallelism: pl.Parallelism}
 
 	type scored struct {
 		idx          int

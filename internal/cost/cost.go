@@ -116,8 +116,14 @@ func (p Params) RequestBreakdown(op device.Op, offset, size, h, s int64) Breakdo
 	if err := st.Validate(); err != nil {
 		panic(err)
 	}
-	d := st.DistributeAnalytic(offset, size)
+	return p.distributionBreakdown(op, st.DistributeAnalytic(offset, size))
+}
 
+// distributionBreakdown applies Eqs. (1)-(6) to a computed sub-request
+// distribution. It is the single arithmetic path shared by
+// RequestBreakdown and Evaluator, so cached and uncached evaluations are
+// bit-identical.
+func (p Params) distributionBreakdown(op device.Op, d layout.Distribution) Breakdown {
 	sm := float64(d.MaxH)
 	sn := float64(d.MaxS)
 

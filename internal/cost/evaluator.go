@@ -1,0 +1,94 @@
+package cost
+
+import (
+	"harl/internal/device"
+	"harl/internal/layout"
+)
+
+// Evaluator scores requests under one pinned (h, s) stripe candidate.
+// It is the inner loop of Algorithm 2's grid search: RequestCost
+// re-validates the striping and re-derives its round geometry on every
+// call, while an Evaluator does both once per candidate and memoizes the
+// sub-request Distribution of each distinct request shape.
+//
+// The memoization key is (Canonical(offset), size): distributions are
+// periodic in the striping round (layout.Geometry.Canonical), so the many
+// same-size, stripe-aligned requests of a region collapse to a handful of
+// geometry computations. All quantities are integers and the final cost
+// arithmetic is shared with RequestBreakdown, so evaluator results are
+// bit-identical to the uncached path.
+//
+// An Evaluator is not safe for concurrent use; parallel searches give
+// each worker its own and Reset it between candidates.
+type Evaluator struct {
+	p     Params
+	geo   layout.Geometry
+	cache map[requestShape]layout.Distribution
+}
+
+// requestShape identifies a distribution-equivalent request class under
+// the pinned candidate: its offset within the striping round and its size.
+type requestShape struct {
+	off, size int64
+}
+
+// NewEvaluator returns an evaluator pinned to stripe sizes (h, s) on this
+// parameter set's M+N servers.
+func (p Params) NewEvaluator(h, s int64) (*Evaluator, error) {
+	e := &Evaluator{p: p, cache: make(map[requestShape]layout.Distribution)}
+	if err := e.Reset(h, s); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset re-pins the evaluator to a new candidate pair, dropping the
+// memoized distributions (they are geometry-specific) but keeping the
+// allocated cache storage.
+func (e *Evaluator) Reset(h, s int64) error {
+	geo, err := layout.NewGeometry(layout.Striping{M: e.p.M, N: e.p.N, H: h, S: s})
+	if err != nil {
+		return err
+	}
+	e.geo = geo
+	clear(e.cache)
+	return nil
+}
+
+// Pair returns the pinned (h, s) candidate.
+func (e *Evaluator) Pair() (h, s int64) {
+	st := e.geo.Striping()
+	return st.H, st.S
+}
+
+// RequestCost returns the modeled completion time (seconds) of one
+// request, bit-identical to Params.RequestCost under the pinned pair.
+func (e *Evaluator) RequestCost(op device.Op, offset, size int64) float64 {
+	return e.RequestBreakdown(op, offset, size).Total()
+}
+
+// RequestCostDirect is RequestCost through the pinned geometry but
+// without consulting the memo: cheaper when the caller already
+// deduplicates repeated requests (HARL's grid search memoizes by sample
+// index instead, which costs no hashing), still bit-identical to
+// Params.RequestCost.
+func (e *Evaluator) RequestCostDirect(op device.Op, offset, size int64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return e.p.distributionBreakdown(op, e.geo.Distribute(offset, size)).Total()
+}
+
+// RequestBreakdown is RequestCost with the three terms itemized.
+func (e *Evaluator) RequestBreakdown(op device.Op, offset, size int64) Breakdown {
+	if size <= 0 {
+		return Breakdown{}
+	}
+	shape := requestShape{off: e.geo.Canonical(offset), size: size}
+	d, ok := e.cache[shape]
+	if !ok {
+		d = e.geo.Distribute(shape.off, size)
+		e.cache[shape] = d
+	}
+	return e.p.distributionBreakdown(op, d)
+}

@@ -72,7 +72,7 @@ func AblationRegionDivision(o Options) (*Table, error) {
 	}
 
 	// HARL's CV-based adaptive division.
-	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize}.Analyze(tr)
+	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize, Parallelism: o.Parallelism}.Analyze(tr)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func AblationCostModel(o Options) (*Table, error) {
 			return p
 		}},
 	} {
-		plan, err := harl.Planner{Params: variant.mutate(params), ChunkSize: o.ChunkSize}.Analyze(cfg.Trace())
+		plan, err := harl.Planner{Params: variant.mutate(params), ChunkSize: o.ChunkSize, Parallelism: o.Parallelism}.Analyze(cfg.Trace())
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +145,7 @@ func AblationThreshold(o Options) (*Table, error) {
 	}
 	tr := mcfg.Trace()
 	for _, threshold := range []float64{25, 100, 400, 1600, 1e9} {
-		plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize, Threshold: threshold}.Analyze(tr)
+		plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize, Threshold: threshold, Parallelism: o.Parallelism}.Analyze(tr)
 		if err != nil {
 			return nil, err
 		}

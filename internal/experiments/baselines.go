@@ -43,6 +43,7 @@ func BaselineComparison(o Options) (*Table, error) {
 			Params:      params,
 			ChunkSize:   o.ChunkSize,
 			MaxRequests: 64,
+			Parallelism: o.Parallelism,
 			SSDBudget:   int64(float64(total) * budgetFrac),
 		}.Analyze(tr)
 		if err != nil {
@@ -53,7 +54,7 @@ func BaselineComparison(o Options) (*Table, error) {
 		}
 	}
 
-	harlPlan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize, MaxRequests: 64}.Analyze(tr)
+	harlPlan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize, MaxRequests: 64, Parallelism: o.Parallelism}.Analyze(tr)
 	if err != nil {
 		return nil, err
 	}

@@ -94,7 +94,7 @@ func runBTIOHARL(o Options, clusterCfg cluster.Config, cfg btio.Config) (btio.Re
 	if err != nil {
 		return btio.Result{}, nil, err
 	}
-	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize}.Analyze(collector.Trace())
+	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize, Parallelism: o.Parallelism}.Analyze(collector.Trace())
 	if err != nil {
 		return btio.Result{}, nil, err
 	}

@@ -29,7 +29,7 @@ func harlIOR(o Options, clusterCfg cluster.Config, cfg ior.Config, onlyOp int) (
 	} else if onlyOp == opWrite {
 		tr = tr.Writes()
 	}
-	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize}.Analyze(tr)
+	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize, Parallelism: o.Parallelism}.Analyze(tr)
 	if err != nil {
 		return ior.Result{}, nil, err
 	}
@@ -248,7 +248,7 @@ func Fig11(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize}.Analyze(mcfg.Trace())
+	plan, err := harl.Planner{Params: params, ChunkSize: o.ChunkSize, Parallelism: o.Parallelism}.Analyze(mcfg.Trace())
 	if err != nil {
 		return nil, err
 	}

@@ -43,6 +43,11 @@ type Options struct {
 	BTIOStripes []int64
 	// Seed drives every stochastic choice.
 	Seed int64
+	// Parallelism bounds the Analysis Phase worker pool in every HARL
+	// (and CARL) planner the drivers run; 0 means GOMAXPROCS. Plans are
+	// bit-identical at every setting, so figure outputs do not depend
+	// on it.
+	Parallelism int
 }
 
 // DefaultOptions mirrors the paper's setup at 1/8 file scale.

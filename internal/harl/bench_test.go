@@ -3,6 +3,7 @@ package harl
 import (
 	"testing"
 
+	"harl/internal/cost"
 	"harl/internal/device"
 )
 
@@ -28,6 +29,74 @@ func BenchmarkTieredCoordinateDescent(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		opt.OptimizeRegion(tr.Records, 0, 512<<10)
+	}
+}
+
+// searchVariants is the ablation ladder the perf work is measured on:
+// the seed's serial uncached search, each layer alone, and the full
+// cached+pruned search serial and parallel. All variants return
+// bit-identical results (see TestOptimizeRegionParallelBitIdentical).
+func searchVariants(params cost.Params) []struct {
+	name string
+	opt  Optimizer
+} {
+	return []struct {
+		name string
+		opt  Optimizer
+	}{
+		{"seed-serial", Optimizer{Params: params, Parallelism: 1, noCache: true, noPrune: true}},
+		{"cache-only", Optimizer{Params: params, Parallelism: 1, noPrune: true}},
+		{"prune-only", Optimizer{Params: params, Parallelism: 1, noCache: true}},
+		{"cache+prune", Optimizer{Params: params, Parallelism: 1}},
+		{"parallel", Optimizer{Params: params}},
+	}
+}
+
+// BenchmarkOptimizeRegion measures one region's grid search — a single
+// huge IOR-uniform region, the worst case for region-level parallelism —
+// across the ablation ladder.
+func BenchmarkOptimizeRegion(b *testing.B) {
+	tr := uniformTrace(256, 512<<10, device.Read, 1)
+	tr.SortByOffset()
+	for _, v := range searchVariants(modelParams()) {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v.opt.OptimizeRegion(tr.Records, 0, 512<<10)
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyze measures the whole Analysis Phase on a multi-region
+// four-phase trace (the acceptance workload for the parallel planner).
+func BenchmarkAnalyze(b *testing.B) {
+	tr := uniformTrace(0, 1, device.Read, 0)
+	tr.Records = tr.Records[:0]
+	off := int64(0)
+	for phase := 0; phase < 4; phase++ {
+		size := int64(64<<10) << uint(2*phase)
+		for i := 0; i < 200; i++ {
+			tr.Records = append(tr.Records, record(device.Read, off, size))
+			off += size
+		}
+	}
+	for _, v := range searchVariants(modelParams()) {
+		b.Run(v.name, func(b *testing.B) {
+			pl := Planner{
+				Params:      v.opt.Params,
+				ChunkSize:   16 << 20,
+				MaxRequests: 32,
+				Step:        16 << 10,
+				Parallelism: v.opt.Parallelism,
+				noCache:     v.opt.noCache,
+				noPrune:     v.opt.noPrune,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Analyze(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

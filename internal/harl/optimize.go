@@ -16,11 +16,44 @@
 //     in the region-to-file table (R2F).
 //
 // This package owns phase 2 and the two tables.
+//
+// # Parallel search architecture
+//
+// The paper accepts Algorithm 2's exhaustive O((R̄/step)²) grid walk as
+// an off-line cost (Section III-E); this implementation makes that cost
+// scale with the hardware while provably returning the same plan:
+//
+//   - Region level: regions share nothing — each owns its request group —
+//     so Planner.Analyze optimizes them concurrently on a worker pool
+//     bounded by the Parallelism option (0 means GOMAXPROCS).
+//   - Grid level: within a region, Optimizer.OptimizeRegion shards the
+//     (h, s) candidate grid into columns (one h value each) that workers
+//     claim dynamically, each keeping a private running best; a final
+//     reduce merges the per-worker bests. Single-huge-region traces (IOR
+//     uniform) therefore scale too.
+//   - Cost-evaluation cache: each worker scores candidates through a
+//     cost.Evaluator, which validates the striping geometry once per
+//     candidate and memoizes the sub-request distribution of each
+//     distinct (offset mod round, size) request shape — distributions
+//     are periodic in the striping round, so a region's stripe-aligned
+//     requests collapse to a few geometry computations.
+//   - Pruning: per-request costs are non-negative, so a candidate's
+//     partial sum is an admissible lower bound on its total; evaluation
+//     aborts as soon as the partial sum strictly exceeds the worker's
+//     running best. Candidates are visited in a pruning-friendly order
+//     (large s first within each h column) so a strong bound appears
+//     early.
+//
+// Determinism guarantee: the search result is bit-identical at every
+// Parallelism setting. Candidate costs are summed in the same per-request
+// order everywhere, cached and uncached evaluations share one arithmetic
+// path, ties are broken toward the lexicographically smallest (h, s)
+// rather than arrival order, and pruning only discards candidates that
+// are already ≥ the running best (exact ties lose the tie-break anyway).
 package harl
 
 import (
 	"fmt"
-	"math"
 
 	"harl/internal/cost"
 	"harl/internal/device"
@@ -59,7 +92,8 @@ const DefaultStep int64 = 4 << 10
 const DefaultMaxRequests = 128
 
 // Optimizer runs Algorithm 2: exhaustive (h, s) grid search scored by the
-// cost model.
+// cost model, sharded across workers with memoized cost evaluations and
+// lower-bound pruning (see the package doc).
 type Optimizer struct {
 	Params cost.Params
 	// Step is the grid granularity; 0 means DefaultStep.
@@ -67,6 +101,17 @@ type Optimizer struct {
 	// MaxRequests caps the scored requests per region; 0 means
 	// DefaultMaxRequests, negative means no cap.
 	MaxRequests int
+	// Parallelism bounds the goroutines sharding the candidate grid;
+	// 0 means GOMAXPROCS, 1 forces the serial search. The result is
+	// bit-identical at every setting.
+	Parallelism int
+
+	// noCache and noPrune disable the evaluation cache and the
+	// lower-bound early exit. They exist only so benchmarks and tests
+	// can measure/verify each layer; both paths return identical
+	// results.
+	noCache bool
+	noPrune bool
 }
 
 func (o Optimizer) step() int64 {
@@ -86,7 +131,7 @@ func (o Optimizer) OptimizeRegion(records []trace.Record, base int64, avg float6
 	if len(records) == 0 {
 		panic("harl: optimizing a region with no requests")
 	}
-	if o.Step != 0 && o.Step < 0 {
+	if o.Step < 0 {
 		panic(fmt.Sprintf("harl: negative step %d", o.Step))
 	}
 	step := o.step()
@@ -100,41 +145,74 @@ func (o Optimizer) OptimizeRegion(records []trace.Record, base int64, avg float6
 		rBar = step
 	}
 
-	best := StripePair{H: 0, S: step}
-	bestCost := math.Inf(1)
-	evaluate := func(p StripePair) {
-		c := o.regionCost(sample, base, p)
-		if c < bestCost {
-			bestCost = c
-			best = p
-		}
+	cols := o.columns(rBar, step)
+	p := workers(o.Parallelism)
+	ws := make([]*searchWorker, min(p, max(len(cols), 1)))
+	for i := range ws {
+		ws[i] = o.newSearchWorker(sample, base)
 	}
+	scatter(len(ws), len(cols), func(w, i int) { ws[w].scan(cols[i]) })
 
-	switch {
-	case o.Params.N == 0:
-		// Homogeneous HServer system: search h alone.
-		for h := step; h <= rBar; h += step {
-			evaluate(StripePair{H: h, S: 0})
-		}
-	case o.Params.M == 0:
-		// Homogeneous SServer system: search s alone.
-		for s := step; s <= rBar; s += step {
-			evaluate(StripePair{H: 0, S: s})
-		}
-	default:
-		// Algorithm 2: h from 0 (SServer-only placement) to R̄; s always
-		// strictly larger than h, up to R̄ (single-SServer extreme).
-		for h := int64(0); h <= rBar; h += step {
-			for s := h + step; s <= rBar; s += step {
-				evaluate(StripePair{H: h, S: s})
-			}
+	best, bestCost := ws[0].best, ws[0].bestCost
+	for _, w := range ws[1:] {
+		if better(w.bestCost, w.best, bestCost, best) {
+			best, bestCost = w.best, w.bestCost
 		}
 	}
 	return best, bestCost
 }
 
+// gridColumn is one shard of the candidate grid: the arithmetic sequence
+// of n pairs start, start+delta, ..., scanned in ascending order.
+type gridColumn struct {
+	start StripePair
+	delta StripePair
+	n     int64
+}
+
+// columns shards Algorithm 2's candidate grid into independently
+// scannable slices: one column per h value in the hybrid case (the inner
+// s-loop), one column per candidate in the homogeneous single-class
+// cases. Dynamic scheduling over columns absorbs their imbalance (the
+// h=0 column is the longest).
+//
+// Scan order is a pruning heuristic, not a correctness concern (ties are
+// broken lexicographically, not by arrival): columns go out in ascending
+// h, and within a column s descends from R̄ — large-s candidates are
+// usually near-optimal for the faster SServers, so a strong bound is
+// established early and later candidates abort after a few requests.
+func (o Optimizer) columns(rBar, step int64) []gridColumn {
+	var cols []gridColumn
+	switch {
+	case o.Params.N == 0:
+		// Homogeneous HServer system: search h alone.
+		for h := step; h <= rBar; h += step {
+			cols = append(cols, gridColumn{start: StripePair{H: h}, n: 1})
+		}
+	case o.Params.M == 0:
+		// Homogeneous SServer system: search s alone.
+		for s := step; s <= rBar; s += step {
+			cols = append(cols, gridColumn{start: StripePair{S: s}, n: 1})
+		}
+	default:
+		// Algorithm 2: h from 0 (SServer-only placement) to R̄; s always
+		// strictly larger than h, up to R̄ (single-SServer extreme).
+		for h := int64(0); h <= rBar; h += step {
+			if n := (rBar - h) / step; n > 0 {
+				cols = append(cols, gridColumn{
+					start: StripePair{H: h, S: rBar},
+					delta: StripePair{S: -step},
+					n:     n,
+				})
+			}
+		}
+	}
+	return cols
+}
+
 // regionCost sums the per-request model cost (Eq. 7 for reads, Eq. 8 for
-// writes) under the candidate pair.
+// writes) under the candidate pair, through the uncached path; it is the
+// reference the cached search is verified against.
 func (o Optimizer) regionCost(records []trace.Record, base int64, p StripePair) float64 {
 	var total float64
 	for _, r := range records {
@@ -160,7 +238,13 @@ func (o Optimizer) sampleRecords(records []trace.Record) []trace.Record {
 	out := make([]trace.Record, 0, maxReq)
 	stride := float64(len(records)) / float64(maxReq)
 	for i := 0; i < maxReq; i++ {
-		out = append(out, records[int(float64(i)*stride)])
+		idx := int(float64(i) * stride)
+		if idx >= len(records) {
+			// Float rounding can land exactly on len(records) when
+			// (maxReq-1)*stride rounds up; clamp to the last record.
+			idx = len(records) - 1
+		}
+		out = append(out, records[idx])
 	}
 	return out
 }

@@ -1,0 +1,50 @@
+package harl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves a Parallelism setting to a concrete worker count:
+// n > 0 is taken literally, the zero value means GOMAXPROCS.
+func workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// scatter runs fn(w, i) for every index i in [0, n), where w identifies
+// the executing worker in [0, p). Indices are handed out through an
+// atomic counter in ascending order, so scheduling is dynamic (a long
+// item doesn't stall a fixed partition) and each worker sees its own
+// indices in ascending order. With p <= 1 or n <= 1 it degrades to a
+// plain loop on the calling goroutine.
+func scatter(p, n int, fn func(w, i int)) {
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -23,6 +23,16 @@ type Planner struct {
 	// Threshold overrides the initial CV threshold; 0 means
 	// region.DefaultThreshold (100%).
 	Threshold float64
+	// Parallelism bounds the Analysis Phase worker pool; 0 means
+	// GOMAXPROCS, 1 forces the serial pipeline. The budget is split
+	// between concurrent regions and each region's grid search, and the
+	// resulting plan is bit-identical at every setting.
+	Parallelism int
+
+	// noCache and noPrune ride through to the Optimizer; benchmark and
+	// test ablation knobs only.
+	noCache bool
+	noPrune bool
 }
 
 // PlannedRegion is one analyzed region with its chosen layout.
@@ -44,6 +54,10 @@ type Plan struct {
 // Analyze runs region division (Algorithm 1 with adaptive threshold) and
 // per-region stripe optimization (Algorithm 2) over a trace. The trace is
 // copied and offset-sorted internally; the input is not modified.
+//
+// Regions share nothing — each owns its request group — so they are
+// optimized concurrently on a pool of Parallelism workers; leftover
+// budget (fewer regions than workers) goes to each region's grid search.
 func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
 	if err := pl.Params.Validate(); err != nil {
 		return nil, err
@@ -55,27 +69,47 @@ func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	opt := Optimizer{Params: pl.Params, Step: pl.Step, MaxRequests: pl.MaxRequests}
-	plan := &Plan{Threshold: threshold}
 	for i, reg := range regions {
 		if len(groups[i]) == 0 {
 			// A region with no requests can only arise from a malformed
 			// division; fail loudly rather than striping blind.
 			return nil, fmt.Errorf("harl: region %d (%v) has no requests", i, reg)
 		}
+	}
+
+	// Split the worker budget: one pool slot per region, and whatever is
+	// left over parallelizes each region's candidate grid (a single huge
+	// region gets the whole budget for its grid search).
+	budget := workers(pl.Parallelism)
+	pool := min(budget, len(regions))
+	opt := Optimizer{
+		Params:      pl.Params,
+		Step:        pl.Step,
+		MaxRequests: pl.MaxRequests,
+		Parallelism: max(budget/pool, 1),
+		noCache:     pl.noCache,
+		noPrune:     pl.noPrune,
+	}
+
+	planned := make([]PlannedRegion, len(regions))
+	scatter(pool, len(regions), func(_, i int) {
+		reg := regions[i]
 		pair, c := opt.OptimizeRegion(groups[i], reg.Offset, reg.AvgSize)
-		plan.Regions = append(plan.Regions, PlannedRegion{
+		planned[i] = PlannedRegion{
 			Region:    reg,
 			Stripes:   pair,
 			ModelCost: c,
 			WriteMix:  ReadWriteMix(groups[i]),
-		})
+		}
+	})
+
+	plan := &Plan{Threshold: threshold, Regions: planned}
+	for _, r := range planned {
 		plan.RST.Entries = append(plan.RST.Entries, RSTEntry{
-			Offset: reg.Offset,
-			End:    reg.End,
-			H:      pair.H,
-			S:      pair.S,
+			Offset: r.Offset,
+			End:    r.End,
+			H:      r.Stripes.H,
+			S:      r.Stripes.S,
 		})
 	}
 	plan.RST.Merge()

@@ -8,61 +8,16 @@ import "fmt"
 // (h, s) candidate pair over every request of a region, so the per-request
 // distribution must not require walking stripe fragments.
 //
-// For each server the covered byte count is derived from round geometry:
-// the server's stripe occupies a fixed window of every striping round, the
-// middle rounds of the request are covered entirely, and the first and
-// last rounds contribute their window overlaps.
+// The computation lives on Geometry; callers scoring many requests under
+// one configuration should build a Geometry once (and see
+// Geometry.Canonical for memoizing across requests).
 func (st Striping) DistributeAnalytic(off, size int64) Distribution {
-	if off < 0 || size < 0 {
-		panic(fmt.Sprintf("layout: invalid range %d+%d", off, size))
-	}
-	var d Distribution
-	if size == 0 {
-		return d
-	}
 	round := st.RoundSize()
 	if round <= 0 {
 		panic(fmt.Sprintf("layout: %v stores no data", st))
 	}
-	end := off + size
-	rb := off / round
-	re := (end - 1) / round
-	mid := re - rb - 1
-	if mid < 0 {
-		mid = 0
-	}
-
-	cover := func(zone, stripe int64) int64 {
-		cov := mid * stripe
-		cov += overlap(off, end, rb*round+zone, rb*round+zone+stripe)
-		if re > rb {
-			cov += overlap(off, end, re*round+zone, re*round+zone+stripe)
-		}
-		return cov
-	}
-
-	if st.H > 0 {
-		for i := 0; i < st.M; i++ {
-			if cov := cover(int64(i)*st.H, st.H); cov > 0 {
-				d.MTouched++
-				if cov > d.MaxH {
-					d.MaxH = cov
-				}
-			}
-		}
-	}
-	if st.S > 0 {
-		hz := st.HBytes()
-		for i := 0; i < st.N; i++ {
-			if cov := cover(hz+int64(i)*st.S, st.S); cov > 0 {
-				d.NTouched++
-				if cov > d.MaxS {
-					d.MaxS = cov
-				}
-			}
-		}
-	}
-	return d
+	g := Geometry{st: st, round: round, hBytes: st.HBytes()}
+	return g.Distribute(off, size)
 }
 
 // overlap returns the length of [a,b) ∩ [c,d).

@@ -1,0 +1,100 @@
+package layout
+
+import "fmt"
+
+// Geometry is a validated, reusable evaluator of one striping
+// configuration: the round quantities DistributeAnalytic re-derives on
+// every call, computed once. HARL's stripe-size search scores thousands
+// of requests under each (h, s) candidate, so the per-request work must
+// be the cover arithmetic alone.
+//
+// Geometry also exposes the property that makes distributions cacheable:
+// Distribute is periodic in the round size (see Canonical), so requests
+// that differ only by whole striping rounds share one computation.
+type Geometry struct {
+	st     Striping
+	round  int64 // st.RoundSize()
+	hBytes int64 // st.HBytes()
+}
+
+// NewGeometry validates st and precomputes its round geometry.
+func NewGeometry(st Striping) (Geometry, error) {
+	if err := st.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	return Geometry{st: st, round: st.RoundSize(), hBytes: st.HBytes()}, nil
+}
+
+// Striping returns the configuration the geometry evaluates.
+func (g Geometry) Striping() Striping { return g.st }
+
+// Canonical reduces a file offset to its position within the striping
+// round. Every cover term of Distribute depends on the offset only
+// relative to the request's first round boundary, so
+//
+//	g.Distribute(off, size) == g.Distribute(g.Canonical(off), size)
+//
+// exactly (the quantities are integers; no rounding is involved). Callers
+// memoizing distributions key them by (Canonical(offset), size).
+func (g Geometry) Canonical(off int64) int64 {
+	if off < 0 {
+		panic(fmt.Sprintf("layout: negative offset %d", off))
+	}
+	return off % g.round
+}
+
+// Distribute computes the Distribution of the request [off, off+size),
+// identical to Striping.DistributeAnalytic but without re-deriving the
+// round geometry per call.
+//
+// For each server the covered byte count comes from round geometry: the
+// server's stripe occupies a fixed window of every striping round, the
+// middle rounds of the request are covered entirely, and the first and
+// last rounds contribute their window overlaps.
+func (g Geometry) Distribute(off, size int64) Distribution {
+	if off < 0 || size < 0 {
+		panic(fmt.Sprintf("layout: invalid range %d+%d", off, size))
+	}
+	var d Distribution
+	if size == 0 {
+		return d
+	}
+	end := off + size
+	rb := off / g.round
+	re := (end - 1) / g.round
+	mid := re - rb - 1
+	if mid < 0 {
+		mid = 0
+	}
+
+	cover := func(zone, stripe int64) int64 {
+		cov := mid * stripe
+		cov += overlap(off, end, rb*g.round+zone, rb*g.round+zone+stripe)
+		if re > rb {
+			cov += overlap(off, end, re*g.round+zone, re*g.round+zone+stripe)
+		}
+		return cov
+	}
+
+	if g.st.H > 0 {
+		for i := 0; i < g.st.M; i++ {
+			if cov := cover(int64(i)*g.st.H, g.st.H); cov > 0 {
+				d.MTouched++
+				if cov > d.MaxH {
+					d.MaxH = cov
+				}
+			}
+		}
+	}
+	if g.st.S > 0 {
+		for i := 0; i < g.st.N; i++ {
+			if cov := cover(g.hBytes+int64(i)*g.st.S, g.st.S); cov > 0 {
+				d.NTouched++
+				if cov > d.MaxS {
+					d.MaxS = cov
+				}
+			}
+		}
+	}
+	return d
+}

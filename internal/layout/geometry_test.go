@@ -1,0 +1,111 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomStripings yields a spread of configurations including the
+// degenerate H==0 / S==0 layouts and single-class systems.
+func randomStripings(rng *rand.Rand, n int) []Striping {
+	sts := []Striping{
+		{M: 6, N: 2, H: 4 << 10, S: 64 << 10},
+		{M: 6, N: 2, H: 0, S: 64 << 10},
+		{M: 6, N: 2, H: 64 << 10, S: 0},
+		{M: 4, N: 0, H: 16 << 10, S: 0},
+		{M: 0, N: 3, H: 0, S: 32 << 10},
+		{M: 1, N: 1, H: 4 << 10, S: 8 << 10},
+	}
+	for len(sts) < n {
+		st := Striping{
+			M: rng.Intn(8),
+			N: rng.Intn(8),
+			H: int64(rng.Intn(64)) * 4096,
+			S: int64(rng.Intn(64)) * 4096,
+		}
+		if st.Validate() != nil {
+			continue
+		}
+		sts = append(sts, st)
+	}
+	return sts
+}
+
+func TestGeometryMatchesDistributeAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, st := range randomStripings(rng, 40) {
+		g, err := NewGeometry(st)
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if g.Striping() != st {
+			t.Fatalf("Striping() = %v, want %v", g.Striping(), st)
+		}
+		for trial := 0; trial < 200; trial++ {
+			off := rng.Int63n(1 << 28)
+			size := rng.Int63n(4<<20) + 1
+			want := st.DistributeAnalytic(off, size)
+			if got := g.Distribute(off, size); got != want {
+				t.Fatalf("%v Distribute(%d,%d) = %+v, want %+v", st, off, size, got, want)
+			}
+			// Cross-check against the exact fragment walk.
+			if got := st.Distribute(off, size); got != want {
+				t.Fatalf("%v analytic %+v disagrees with walk %+v at (%d,%d)", st, want, got, off, size)
+			}
+		}
+	}
+}
+
+// TestGeometryCanonicalPeriodicity pins the property the search cache
+// relies on: distributions are invariant under shifting the offset by
+// whole striping rounds.
+func TestGeometryCanonicalPeriodicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, st := range randomStripings(rng, 40) {
+		g, err := NewGeometry(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			off := rng.Int63n(1 << 30)
+			size := rng.Int63n(8<<20) + 1
+			canon := g.Canonical(off)
+			if canon < 0 || canon >= st.RoundSize() {
+				t.Fatalf("Canonical(%d) = %d outside round [0,%d)", off, canon, st.RoundSize())
+			}
+			if got, want := g.Distribute(canon, size), g.Distribute(off, size); got != want {
+				t.Fatalf("%v: Distribute(%d,%d)=%+v != Distribute(%d,%d)=%+v",
+					st, canon, size, got, off, size, want)
+			}
+		}
+	}
+}
+
+func TestGeometryErrorsAndPanics(t *testing.T) {
+	if _, err := NewGeometry(Striping{}); err == nil {
+		t.Fatal("empty striping accepted")
+	}
+	if _, err := NewGeometry(Striping{M: 2, N: 2, H: 0, S: 0}); err == nil {
+		t.Fatal("zero-stripe striping accepted")
+	}
+	g, err := NewGeometry(Striping{M: 2, N: 2, H: 4096, S: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Distribute(0, 0) != (Distribution{}) {
+		t.Fatal("zero-size request should distribute to nothing")
+	}
+	mustPanicGeom(t, func() { g.Distribute(-1, 10) })
+	mustPanicGeom(t, func() { g.Distribute(0, -1) })
+	mustPanicGeom(t, func() { g.Canonical(-1) })
+}
+
+func mustPanicGeom(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
