@@ -1,12 +1,25 @@
 GO ?= go
 
-.PHONY: verify build test race bench vet
+# CHAOS_SEED picks the fault schedule the chaos suite injects on top of
+# its built-in seeds; a red run is reproduced by re-running with the
+# seed the failure printed.
+CHAOS_SEED ?= 1
+
+.PHONY: verify build test race bench vet chaos
 
 # verify is the tier-1 gate: everything must pass before a commit lands.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) chaos
+
+# chaos runs the seeded fault-injection suite under the race detector:
+# integrity under chaos, determinism across Parallelism, hedged-read
+# tail-latency wins, and the migrate/pfs fault paths.
+chaos:
+	@CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run 'Chaos|Hedge|Fault|Flaky|Crash|Restripe|Straggle|Watchdog' ./internal/... \
+		|| { echo "chaos suite failed; reproduce with: make chaos CHAOS_SEED=$(CHAOS_SEED)"; exit 1; }
 
 build:
 	$(GO) build ./...

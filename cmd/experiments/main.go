@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-fig 7] [-seed N]
+//	experiments [-quick] [-fig 7] [-seed N] [-chaos-seed N]
+//	            [-max-retries N] [-timeout D] [-backoff D] [-hedge-after D]
 //
-// Without -fig, every figure (1a, 1b, 7, 8, 9, 10, 11, 12) and the three
+// Without -fig, every figure (1a, 1b, 7, 8, 9, 10, 11, 12), the three
 // ablation studies (ablation-division, ablation-model,
-// ablation-threshold) run in order.
+// ablation-threshold) and the fault-injection figures (chaos, hedge) run
+// in order. -chaos-seed replays an exact fault schedule; the retry knobs
+// override the client recovery policy the chaos figures use.
 package main
 
 import (
@@ -17,12 +20,18 @@ import (
 	"time"
 
 	"harl/internal/experiments"
+	"harl/internal/sim"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale (128 MB file, class W BTIO)")
 	fig := flag.String("fig", "", "single figure to run: 1a, 1b, 7, 8, 9, 10, 11 or 12")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed for the chaos figures")
+	maxRetries := flag.Int("max-retries", 0, "override the client retry budget (0 = default)")
+	timeout := flag.Duration("timeout", 0, "override the per-request deadline (0 = default)")
+	backoff := flag.Duration("backoff", 0, "override the retry backoff base (0 = default)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "override the hedged-read threshold (0 = default)")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -30,6 +39,19 @@ func main() {
 		opts = experiments.QuickOptions()
 	}
 	opts.Seed = *seed
+	opts.ChaosSeed = *chaosSeed
+	if *maxRetries > 0 {
+		opts.MaxRetries = *maxRetries
+	}
+	if *timeout > 0 {
+		opts.RequestTimeout = sim.Duration(*timeout)
+	}
+	if *backoff > 0 {
+		opts.Backoff = sim.Duration(*backoff)
+	}
+	if *hedgeAfter > 0 {
+		opts.HedgeAfter = sim.Duration(*hedgeAfter)
+	}
 
 	figures := []struct {
 		name string
@@ -48,6 +70,8 @@ func main() {
 		{"ablation-threshold", experiments.AblationThreshold},
 		{"threetier", experiments.ThreeTier},
 		{"baselines", experiments.BaselineComparison},
+		{"chaos", experiments.FigChaos},
+		{"hedge", experiments.FigHedge},
 	}
 
 	ran := 0

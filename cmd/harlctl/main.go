@@ -8,9 +8,14 @@
 //	harlctl divide   -trace ior.trace [-threshold 100] [-chunk 64M]
 //	harlctl optimize -trace ior.trace -out file.rst [-hservers 6] [-sservers 2] [-probes 1000]
 //	harlctl show     -rst file.rst
+//	harlctl chaos    [-chaos-seed N] [-max-retries N] [-timeout D] [-backoff D] [-hedge-after D]
 //
 // optimize calibrates the cost model against the default simulated device
 // profiles (the stand-in for probing one real server of each class).
+// chaos runs the fault-injection scenario on the simulated testbed:
+// IOR-style traffic through the seeded fault schedule, with the given
+// client recovery policy, plus the hedged-read straggler scan. The same
+// -chaos-seed always replays the same fault sequence.
 package main
 
 import (
@@ -21,9 +26,11 @@ import (
 
 	"harl/internal/cost"
 	"harl/internal/device"
+	"harl/internal/experiments"
 	"harl/internal/harl"
 	"harl/internal/netsim"
 	"harl/internal/region"
+	"harl/internal/sim"
 	"harl/internal/trace"
 )
 
@@ -42,6 +49,8 @@ func main() {
 		err = cmdOptimize(args)
 	case "show":
 		err = cmdShow(args)
+	case "chaos":
+		err = cmdChaos(args)
 	default:
 		usage()
 	}
@@ -52,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos} [flags]")
 	os.Exit(2)
 }
 
@@ -189,6 +198,53 @@ func optimizeTiered(tr *trace.Trace, out string, hservers, probes int, chunk, st
 		fmt.Printf("  region %3d: [%d,%d) stripes %v\n", i, e.Offset, e.End, e.Stripes)
 	}
 	fmt.Printf("tiered RST with %d entries written to %s\n", len(plan.RST.Entries), out)
+	return nil
+}
+
+// cmdChaos runs the fault-injection figures on the simulated testbed,
+// mirroring how -parallel threads through optimize: the knobs map onto
+// experiments.Options and the seed identifies the fault schedule.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault-schedule seed (same seed replays the same faults)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	maxRetries := fs.Int("max-retries", 0, "client retry budget (0 = default)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = default)")
+	backoff := fs.Duration("backoff", 0, "retry backoff base (0 = default)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedged-read threshold (0 = default)")
+	quick := fs.Bool("quick", false, "run at reduced scale")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	opts.Seed = *seed
+	opts.ChaosSeed = *chaosSeed
+	opts.Parallelism = *parallel
+	if *maxRetries > 0 {
+		opts.MaxRetries = *maxRetries
+	}
+	if *timeout > 0 {
+		opts.RequestTimeout = sim.Duration(*timeout)
+	}
+	if *backoff > 0 {
+		opts.Backoff = sim.Duration(*backoff)
+	}
+	if *hedgeAfter > 0 {
+		opts.HedgeAfter = sim.Duration(*hedgeAfter)
+	}
+
+	for _, run := range []func(experiments.Options) (*experiments.Table, error){
+		experiments.FigChaos, experiments.FigHedge,
+	} {
+		table, err := run(opts)
+		if err != nil {
+			return fmt.Errorf("chaos seed %d: %w", *chaosSeed, err)
+		}
+		fmt.Println(table)
+	}
 	return nil
 }
 

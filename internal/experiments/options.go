@@ -10,6 +10,8 @@ import (
 	"harl/internal/ior"
 	"harl/internal/layout"
 	"harl/internal/mpiio"
+	"harl/internal/pfs"
+	"harl/internal/sim"
 	"harl/internal/trace"
 )
 
@@ -48,6 +50,29 @@ type Options struct {
 	// bit-identical at every setting, so figure outputs do not depend
 	// on it.
 	Parallelism int
+
+	// Recovery-policy knobs for the chaos experiments (FigChaos,
+	// FigHedge): per-sub-request deadline, retry budget, backoff base and
+	// hedged-read threshold, mapped onto pfs.Policy by clientPolicy.
+	// Fault-free figures never arm them.
+	RequestTimeout sim.Duration
+	MaxRetries     int
+	Backoff        sim.Duration
+	HedgeAfter     sim.Duration
+
+	// ChaosSeed identifies the fault schedule chaos experiments inject;
+	// replaying a seed replays the exact fault sequence and metrics.
+	ChaosSeed int64
+}
+
+// clientPolicy maps the option knobs onto the pfs client policy.
+func (o Options) clientPolicy() pfs.Policy {
+	return pfs.Policy{
+		Timeout:    o.RequestTimeout,
+		MaxRetries: o.MaxRetries,
+		Backoff:    o.Backoff,
+		HedgeAfter: o.HedgeAfter,
+	}
 }
 
 // DefaultOptions mirrors the paper's setup at 1/8 file scale.
@@ -63,6 +88,12 @@ func DefaultOptions() Options {
 		BTIOClass:     btio.ClassA,
 		BTIOStripes:   []int64{64 << 10, 256 << 10, 1 << 20},
 		Seed:          1,
+
+		RequestTimeout: 150 * sim.Millisecond,
+		MaxRetries:     6,
+		Backoff:        2 * sim.Millisecond,
+		HedgeAfter:     50 * sim.Millisecond,
+		ChaosSeed:      1,
 	}
 }
 

@@ -1,0 +1,276 @@
+// Package faults schedules fault injection against the simulated PFS:
+// server crashes with later recovery, flaky bouts (transient errors and
+// silent request drops) and straggle bouts (scaled service times). A
+// Schedule is a plain list of events on the virtual clock; Apply installs
+// it on an engine and records every fired event in a Log, so two runs of
+// the same schedule can be compared entry for entry.
+//
+// The Chaos generator draws a schedule from its own seeded RNG — not the
+// engine's — so a chaos scenario is identified by (seed, Config) alone
+// and replays bit-identically no matter what else the simulation does.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"harl/internal/pfs"
+	"harl/internal/sim"
+)
+
+// Kind labels one fault event.
+type Kind int
+
+// Fault kinds.
+const (
+	Crash Kind = iota
+	Recover
+	Flaky    // transient error/drop probabilities until the paired Clear
+	Clear    // ends a Flaky bout
+	Straggle // scaled service times until the paired Unstraggle
+	Unstraggle
+)
+
+// String returns the lower-case event name used in Log entries.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Recover:
+		return "recover"
+	case Flaky:
+		return "flaky"
+	case Clear:
+		return "clear"
+	case Straggle:
+		return "straggle"
+	case Unstraggle:
+		return "unstraggle"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault: at virtual time At, do Kind to Server.
+type Event struct {
+	At     sim.Duration
+	Kind   Kind
+	Server int
+
+	// ErrP and DropP parameterize Flaky events: the probability of a
+	// transient error reply and of a silent request drop.
+	ErrP, DropP float64
+
+	// Factor parameterizes Straggle events.
+	Factor float64
+}
+
+func (ev Event) String() string {
+	switch ev.Kind {
+	case Flaky:
+		return fmt.Sprintf("%v flaky s%d err=%.2f drop=%.2f", ev.At, ev.Server, ev.ErrP, ev.DropP)
+	case Straggle:
+		return fmt.Sprintf("%v straggle s%d x%.2f", ev.At, ev.Server, ev.Factor)
+	}
+	return fmt.Sprintf("%v %s s%d", ev.At, ev.Kind, ev.Server)
+}
+
+// Schedule is a fault sequence ordered by time.
+type Schedule []Event
+
+// Log records the events a Schedule actually fired, in firing order.
+// Two runs of the same schedule must produce identical logs — the
+// differential determinism test compares them with String.
+type Log struct {
+	Entries []string
+}
+
+// String joins the entries one per line.
+func (l *Log) String() string { return strings.Join(l.Entries, "\n") }
+
+// Apply installs the schedule on the engine against the file system and
+// returns the log that will fill in as events fire. Call before Run.
+func (s Schedule) Apply(e *sim.Engine, fs *pfs.FS) *Log {
+	log := &Log{}
+	for _, ev := range s {
+		ev := ev
+		e.Schedule(ev.At, func() {
+			switch ev.Kind {
+			case Crash:
+				fs.Crash(ev.Server)
+			case Recover:
+				fs.Recover(ev.Server)
+			case Flaky:
+				fs.SetFlaky(ev.Server, ev.ErrP, ev.DropP)
+			case Clear:
+				fs.SetFlaky(ev.Server, 0, 0)
+			case Straggle:
+				fs.Straggle(ev.Server, ev.Factor)
+			case Unstraggle:
+				fs.Straggle(ev.Server, 1)
+			}
+			log.Entries = append(log.Entries, ev.String())
+		})
+	}
+	return log
+}
+
+// Config bounds what a generated chaos schedule may do. The zero value
+// is filled in by sensible defaults for every field except Servers,
+// which callers must set to the size of the target cluster.
+type Config struct {
+	Servers int // number of data servers faults may target
+
+	// Horizon is the window fault episodes start in. Recoveries may land
+	// after it. Default 1s.
+	Horizon sim.Duration
+
+	// Episode counts. Defaults: 2 crashes, 2 flaky bouts, 2 straggle
+	// bouts. Set a count to -1 to disable that fault class.
+	Crashes   int
+	FlakyRuns int
+	Straggles int
+
+	// Outage bounds a crash's downtime. Defaults 20–120 ms.
+	MinOutage, MaxOutage sim.Duration
+
+	// Bout bounds flaky and straggle episode lengths. Defaults 30–200 ms.
+	MinBout, MaxBout sim.Duration
+
+	// MaxErrP and MaxDropP cap the per-request probabilities a flaky
+	// bout may draw. Defaults 0.3 and 0.3.
+	MaxErrP, MaxDropP float64
+
+	// MaxFactor caps straggle slowdowns (drawn in [1, MaxFactor]).
+	// Default 8.
+	MaxFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Horizon <= 0 {
+		c.Horizon = sim.Second
+	}
+	def := func(n *int, d int) {
+		if *n == 0 {
+			*n = d
+		} else if *n < 0 {
+			*n = 0
+		}
+	}
+	def(&c.Crashes, 2)
+	def(&c.FlakyRuns, 2)
+	def(&c.Straggles, 2)
+	if c.MinOutage <= 0 {
+		c.MinOutage = 20 * sim.Millisecond
+	}
+	if c.MaxOutage < c.MinOutage {
+		c.MaxOutage = 120 * sim.Millisecond
+	}
+	if c.MinBout <= 0 {
+		c.MinBout = 30 * sim.Millisecond
+	}
+	if c.MaxBout < c.MinBout {
+		c.MaxBout = 200 * sim.Millisecond
+	}
+	if c.MaxErrP <= 0 {
+		c.MaxErrP = 0.3
+	}
+	if c.MaxDropP <= 0 {
+		c.MaxDropP = 0.3
+	}
+	if c.MaxFactor < 1 {
+		c.MaxFactor = 8
+	}
+	return c
+}
+
+// Chaos generates a fault schedule from the seed alone: episode start
+// times land uniformly in the horizon, targets are drawn uniformly over
+// the servers, and every episode carries its own ending event, so the
+// cluster always returns to full health.
+func Chaos(seed int64, cfg Config) Schedule {
+	if cfg.Servers <= 0 {
+		panic(fmt.Sprintf("faults: config needs Servers > 0, got %d", cfg.Servers))
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	span := func(lo, hi sim.Duration) sim.Duration {
+		if hi <= lo {
+			return lo
+		}
+		return lo + sim.Duration(rng.Int63n(int64(hi-lo)))
+	}
+	var s Schedule
+	episode := func(start, end Kind, length sim.Duration, fill func(*Event)) {
+		ev := Event{
+			At:     sim.Duration(rng.Int63n(int64(cfg.Horizon))),
+			Kind:   start,
+			Server: rng.Intn(cfg.Servers),
+		}
+		if fill != nil {
+			fill(&ev)
+		}
+		s = append(s, ev, Event{At: ev.At + length, Kind: end, Server: ev.Server})
+	}
+	for i := 0; i < cfg.Crashes; i++ {
+		episode(Crash, Recover, span(cfg.MinOutage, cfg.MaxOutage), nil)
+	}
+	for i := 0; i < cfg.FlakyRuns; i++ {
+		episode(Flaky, Clear, span(cfg.MinBout, cfg.MaxBout), func(ev *Event) {
+			ev.ErrP = rng.Float64() * cfg.MaxErrP
+			ev.DropP = rng.Float64() * cfg.MaxDropP
+		})
+	}
+	for i := 0; i < cfg.Straggles; i++ {
+		episode(Straggle, Unstraggle, span(cfg.MinBout, cfg.MaxBout), func(ev *Event) {
+			ev.Factor = 1 + rng.Float64()*(cfg.MaxFactor-1)
+		})
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return s
+}
+
+// End returns the time of the schedule's last event — after it, every
+// injected fault has been lifted.
+func (s Schedule) End() sim.Duration {
+	var end sim.Duration
+	for _, ev := range s {
+		if ev.At > end {
+			end = ev.At
+		}
+	}
+	return end
+}
+
+// Watchdog flags simulations that stall: if Disarm is not called before
+// the deadline, onHang runs on the virtual clock. Because a dropped
+// request simply never calls back, a chaos run that loses its last
+// completion would otherwise end silently — the watchdog turns that into
+// a detectable failure.
+type Watchdog struct {
+	fired    bool
+	disarmed bool
+}
+
+// NewWatchdog arms a watchdog; onHang fires at the deadline unless
+// Disarm is called first.
+func NewWatchdog(e *sim.Engine, deadline sim.Duration, onHang func()) *Watchdog {
+	w := &Watchdog{}
+	e.Schedule(deadline, func() {
+		if w.disarmed {
+			return
+		}
+		w.fired = true
+		if onHang != nil {
+			onHang()
+		}
+	})
+	return w
+}
+
+// Disarm stops the watchdog; call it from the completion path.
+func (w *Watchdog) Disarm() { w.disarmed = true }
+
+// Fired reports whether the deadline elapsed while armed.
+func (w *Watchdog) Fired() bool { return w.fired }

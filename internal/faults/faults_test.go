@@ -1,0 +1,165 @@
+package faults
+
+import (
+	"testing"
+
+	"harl/internal/device"
+	"harl/internal/netsim"
+	"harl/internal/pfs"
+	"harl/internal/sim"
+)
+
+func testbed(t testing.TB) (*sim.Engine, *pfs.FS) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	net := netsim.MustNew(e, netsim.GigabitEthernet())
+	profiles := make([]device.Profile, 0, 8)
+	for i := 0; i < 6; i++ {
+		profiles = append(profiles, device.DefaultHDD())
+	}
+	for i := 0; i < 2; i++ {
+		profiles = append(profiles, device.DefaultSSD())
+	}
+	return e, pfs.MustNew(e, net, profiles)
+}
+
+func TestChaosIsSeedDeterministic(t *testing.T) {
+	cfg := Config{Servers: 8}
+	a := Chaos(42, cfg)
+	b := Chaos(42, cfg)
+	if len(a) == 0 {
+		t.Fatal("default config generated no events")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if c := Chaos(43, cfg); len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestChaosRespectsConfig(t *testing.T) {
+	cfg := Config{
+		Servers:   4,
+		Horizon:   100 * sim.Millisecond,
+		Crashes:   3,
+		FlakyRuns: -1,
+		Straggles: -1,
+	}
+	s := Chaos(7, cfg)
+	if len(s) != 6 { // 3 crashes, each with its recover
+		t.Fatalf("events = %d, want 6", len(s))
+	}
+	crashes, recovers := 0, 0
+	for _, ev := range s {
+		switch ev.Kind {
+		case Crash:
+			crashes++
+			if ev.At >= 100*sim.Millisecond {
+				t.Fatalf("crash at %v outside horizon", ev.At)
+			}
+		case Recover:
+			recovers++
+		default:
+			t.Fatalf("disabled fault class generated %v", ev)
+		}
+		if ev.Server < 0 || ev.Server >= 4 {
+			t.Fatalf("event targets server %d outside cluster", ev.Server)
+		}
+	}
+	if crashes != 3 || recovers != 3 {
+		t.Fatalf("crashes/recovers = %d/%d, want 3/3", crashes, recovers)
+	}
+	if s.End() < 100*sim.Millisecond/2 {
+		t.Fatalf("schedule end %v implausibly early", s.End())
+	}
+}
+
+func TestApplyFiresEventsAndRestoresHealth(t *testing.T) {
+	e, fs := testbed(t)
+	s := Schedule{
+		{At: 10 * sim.Millisecond, Kind: Crash, Server: 2},
+		{At: 20 * sim.Millisecond, Kind: Flaky, Server: 5, ErrP: 0.5, DropP: 0.1},
+		{At: 25 * sim.Millisecond, Kind: Straggle, Server: 0, Factor: 4},
+		{At: 40 * sim.Millisecond, Kind: Recover, Server: 2},
+		{At: 45 * sim.Millisecond, Kind: Clear, Server: 5},
+		{At: 50 * sim.Millisecond, Kind: Unstraggle, Server: 0},
+	}
+	log := s.Apply(e, fs)
+
+	downMid := false
+	e.Schedule(15*sim.Millisecond, func() { downMid = fs.Health(2) == pfs.Down })
+	e.Run()
+
+	if !downMid {
+		t.Fatal("server 2 not Down mid-outage")
+	}
+	for i := range fs.Servers() {
+		if fs.Health(i) != pfs.Healthy {
+			t.Fatalf("server %d health %v after schedule end", i, fs.Health(i))
+		}
+	}
+	if fs.Servers()[0].SlowFactor != 1 {
+		t.Fatalf("server 0 slow factor %v after unstraggle", fs.Servers()[0].SlowFactor)
+	}
+	if len(log.Entries) != len(s) {
+		t.Fatalf("log has %d entries, want %d:\n%s", len(log.Entries), len(s), log)
+	}
+	if fs.Faults.Crashes != 1 || fs.Faults.Recoveries != 1 {
+		t.Fatalf("crash/recover counters = %d/%d, want 1/1", fs.Faults.Crashes, fs.Faults.Recoveries)
+	}
+}
+
+func TestApplyLogReplaysIdentically(t *testing.T) {
+	run := func() string {
+		e, fs := testbed(t)
+		log := Chaos(99, Config{Servers: 8}).Apply(e, fs)
+		e.Run()
+		return log.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("logs diverged:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	e := sim.NewEngine(1)
+	hung := false
+	w := NewWatchdog(e, 100*sim.Millisecond, func() { hung = true })
+	e.Run()
+	if !hung || !w.Fired() {
+		t.Fatal("armed watchdog did not fire at deadline")
+	}
+
+	e2 := sim.NewEngine(1)
+	hung2 := false
+	w2 := NewWatchdog(e2, 100*sim.Millisecond, func() { hung2 = true })
+	e2.Schedule(10*sim.Millisecond, w2.Disarm)
+	e2.Run()
+	if hung2 || w2.Fired() {
+		t.Fatal("disarmed watchdog fired anyway")
+	}
+}
+
+func TestChaosPanicsWithoutServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chaos without Servers should panic")
+		}
+	}()
+	Chaos(1, Config{})
+}

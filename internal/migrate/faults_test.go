@@ -1,0 +1,167 @@
+package migrate
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"harl/internal/layout"
+	"harl/internal/pfs"
+	"harl/internal/sim"
+)
+
+func writeFile(t *testing.T, e *sim.Engine, c *pfs.Client, name string, st layout.Striping, payload []byte) *pfs.File {
+	t.Helper()
+	var f *pfs.File
+	e.Schedule(0, func() {
+		c.Create(name, st, func(file *pfs.File, err error) {
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			f = file
+			f.WriteAt(payload, 0, func(err error) {
+				if err != nil {
+					t.Errorf("populate: %v", err)
+				}
+			})
+		})
+	})
+	e.Run()
+	if f == nil {
+		t.Fatal("file never created")
+	}
+	return f
+}
+
+func readBack(t *testing.T, e *sim.Engine, c *pfs.Client, name string, size int64) []byte {
+	t.Helper()
+	var got []byte
+	e.Schedule(0, func() {
+		c.Open(name, func(f *pfs.File, err error) {
+			if err != nil {
+				t.Errorf("open %q: %v", name, err)
+				return
+			}
+			f.ReadAt(0, size, func(data []byte, err error) {
+				if err != nil {
+					t.Errorf("read %q: %v", name, err)
+					return
+				}
+				got = data
+			})
+		})
+	})
+	e.Run()
+	return got
+}
+
+// A migration that spans a short server outage must ride it out on the
+// client's retry policy and complete with the restriped data intact.
+func TestRestripeRidesOutCrash(t *testing.T) {
+	tb := smallSSDbed(t, 8<<20)
+	tb.FS.ClientPolicy = pfs.Policy{
+		Timeout:    50 * sim.Millisecond,
+		MaxRetries: 10,
+		Backoff:    2 * sim.Millisecond,
+	}
+	m, err := New(tb.FS, Policy{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tb.FS.NewClient("writer")
+	payload := make([]byte, 2<<20)
+	rand.New(rand.NewSource(11)).Read(payload)
+	st := layout.Striping{M: 2, N: 2, H: 16 << 10, S: 64 << 10}
+	writeFile(t, tb.Engine, c, "data", st, payload)
+
+	// Crash an SServer mid-copy and bring it back well inside the retry
+	// budget.
+	var moved int64
+	var merr error
+	completed := false
+	tb.Engine.Schedule(0, func() {
+		m.Restripe("data", func(n int64, err error) { completed, moved, merr = true, n, err })
+	})
+	tb.Engine.Schedule(2*sim.Millisecond, func() { tb.FS.Crash(3) })
+	tb.Engine.Schedule(150*sim.Millisecond, func() { tb.FS.Recover(3) })
+	tb.Engine.Run()
+
+	if !completed {
+		t.Fatal("migration hung across the crash")
+	}
+	if merr != nil {
+		t.Fatalf("migration failed despite recovery: %v", merr)
+	}
+	if moved != int64(len(payload)) {
+		t.Fatalf("moved %d bytes, want %d", moved, len(payload))
+	}
+	if got := readBack(t, tb.Engine, c, "data", int64(len(payload))); !bytes.Equal(got, payload) {
+		t.Fatal("restriped file does not match the original payload")
+	}
+	if tb.FS.Faults.Retries == 0 {
+		t.Fatal("migration claims success but no retries were recorded during the outage")
+	}
+}
+
+// A migration whose retries run out must abort cleanly: the source file
+// stays intact and readable, and the temporary copy is removed.
+func TestRestripeAbortsCleanlyWhenRetriesExhaust(t *testing.T) {
+	tb := smallSSDbed(t, 8<<20)
+	tb.FS.ClientPolicy = pfs.Policy{
+		Timeout:    20 * sim.Millisecond,
+		MaxRetries: 2,
+		Backoff:    sim.Millisecond,
+	}
+	m, err := New(tb.FS, Policy{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tb.FS.NewClient("writer")
+	payload := make([]byte, 2<<20)
+	rand.New(rand.NewSource(12)).Read(payload)
+	st := layout.Striping{M: 2, N: 2, H: 16 << 10, S: 64 << 10}
+	writeFile(t, tb.Engine, c, "data", st, payload)
+
+	// Permanent outage: the copy loop cannot finish.
+	completed := false
+	var merr error
+	tb.Engine.Schedule(0, func() {
+		m.Restripe("data", func(_ int64, err error) { completed, merr = true, err })
+	})
+	tb.Engine.Schedule(2*sim.Millisecond, func() { tb.FS.Crash(3) })
+	tb.Engine.Run()
+
+	if !completed {
+		t.Fatal("migration neither completed nor aborted — a callback was lost")
+	}
+	if merr == nil {
+		t.Fatal("migration reported success against a permanently crashed server")
+	}
+
+	// Source must be intact under the original layout.
+	tb.FS.Recover(3)
+	if got := readBack(t, tb.Engine, c, "data", int64(len(payload))); !bytes.Equal(got, payload) {
+		t.Fatal("aborted migration corrupted the source file")
+	}
+	var meta pfs.FileMeta
+	tb.Engine.Schedule(0, func() {
+		c.Open("data", func(f *pfs.File, err error) {
+			if err != nil {
+				t.Errorf("open source: %v", err)
+				return
+			}
+			meta = f.Meta()
+		})
+	})
+	tb.Engine.Run()
+	if meta.Layout != layout.Mapper(st) {
+		t.Fatalf("source layout changed to %v during aborted migration", meta.Layout)
+	}
+
+	// The temporary file must be gone.
+	names := tb.FS.FileNames()
+	if len(names) != 1 || names[0] != "data" {
+		t.Fatalf("leftover files after abort: %v", names)
+	}
+}

@@ -197,6 +197,12 @@ func (m *Migrator) biggestFileOn(server int) string {
 // Restripe copies one file onto its migration-target layout: read the
 // logical extent chunk by chunk, write it into a temporary file with the
 // new layout, then swap names. done receives the logical bytes moved.
+//
+// Failure handling: until the final Remove/Rename swap, the source file
+// is never touched, so an aborted migration (server crash, exhausted
+// retries) deletes the temporary copy and leaves the source intact. With
+// a retrying client policy (pfs.FS.ClientPolicy) a migration spanning a
+// short outage instead rides it out and completes after recovery.
 func (m *Migrator) Restripe(name string, done func(moved int64, err error)) {
 	m.client.Open(name, func(f *pfs.File, err error) {
 		if err != nil {
@@ -215,12 +221,18 @@ func (m *Migrator) Restripe(name string, done func(moved int64, err error)) {
 				done(0, err)
 				return
 			}
+			// abort removes the partial copy (best effort — a crashed
+			// server holds no committed tmp bytes anyway) and reports the
+			// original failure.
+			abort := func(cause error) {
+				m.client.Remove(tmp, func(error) { done(0, cause) })
+			}
 			var copyChunk func(off int64)
 			copyChunk = func(off int64) {
 				if off >= size {
 					m.client.Remove(name, func(err error) {
 						if err != nil {
-							done(0, err)
+							abort(err)
 							return
 						}
 						m.client.Rename(tmp, name, func(err error) {
@@ -235,12 +247,12 @@ func (m *Migrator) Restripe(name string, done func(moved int64, err error)) {
 				}
 				f.ReadAt(off, n, func(data []byte, err error) {
 					if err != nil {
-						done(0, err)
+						abort(err)
 						return
 					}
 					dst.WriteAt(data, off, func(err error) {
 						if err != nil {
-							done(0, err)
+							abort(err)
 							return
 						}
 						copyChunk(off + n)

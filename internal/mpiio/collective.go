@@ -89,7 +89,6 @@ func (w *World) CollectiveWrite(f File, pieces [][]CollPiece, done func(error)) 
 		return
 	}
 
-	var firstErr error
 	writeBack := func() {
 		// Write phase: each aggregator flushes its covered intervals.
 		var reqs int
@@ -99,18 +98,15 @@ func (w *World) CollectiveWrite(f File, pieces [][]CollPiece, done func(error)) 
 			reqs += len(intervalsByAgg[i])
 		}
 		if reqs == 0 {
-			w.engine.Schedule(0, func() { done(firstErr) })
+			w.engine.Schedule(0, func() { done(nil) })
 			return
 		}
-		finish := sim.NewCountdown(reqs, func() { done(firstErr) })
+		finish := sim.NewErrCountdown(reqs, done)
 		for i, ivs := range intervalsByAgg {
 			aggRank := states[i].rank
 			for _, iv := range ivs {
 				f.WriteAt(aggRank, iv.off, iv.data, func(err error) {
-					if err != nil && firstErr == nil {
-						firstErr = err
-					}
-					finish.Done()
+					finish.Done(err)
 				})
 			}
 		}
@@ -171,7 +167,6 @@ func (w *World) CollectiveRead(f File, ranges [][]CollRange, done func([][][]byt
 		}
 	}
 
-	var firstErr error
 	type readPiece struct {
 		off  int64
 		data []byte
@@ -226,10 +221,10 @@ func (w *World) CollectiveRead(f File, ranges [][]CollRange, done func([][][]byt
 			return msgs[i].rank < msgs[j].rank
 		})
 		if len(msgs) == 0 {
-			w.engine.Schedule(0, func() { done(out, firstErr) })
+			w.engine.Schedule(0, func() { done(out, nil) })
 			return
 		}
-		finish := sim.NewCountdown(len(msgs), func() { done(out, firstErr) })
+		finish := sim.NewCountdown(len(msgs), func() { done(out, nil) })
 		for _, m := range msgs {
 			from := w.Client(aggs[m.agg])
 			to := w.Client(m.rank)
@@ -239,17 +234,25 @@ func (w *World) CollectiveRead(f File, ranges [][]CollRange, done func([][][]byt
 		}
 	}
 
-	gather := sim.NewCountdown(reads, scatter)
+	// The gather waits for every aggregator read (first error wins), then
+	// fails fast: a failed read leaves holes in the aggregation buffers,
+	// so the scatter phase is skipped rather than shipping bad bytes.
+	gather := sim.NewErrCountdown(reads, func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		scatter()
+	})
 	for i, ivs := range merged {
 		aggRank := aggs[i]
 		for _, rg := range ivs {
 			rg := rg
 			f.ReadAt(aggRank, rg.Off, rg.Size, func(data []byte, err error) {
-				if err != nil && firstErr == nil {
-					firstErr = err
+				if err == nil {
+					got = append(got, readPiece{off: rg.Off, data: data})
 				}
-				got = append(got, readPiece{off: rg.Off, data: data})
-				gather.Done()
+				gather.Done(err)
 			})
 		}
 	}

@@ -131,17 +131,13 @@ func (f *HARLFile) WriteAt(rank int, off int64, data []byte, done func(error)) {
 		f.engine().Schedule(0, func() { done(nil) })
 		return
 	}
-	var firstErr error
-	remaining := sim.NewCountdown(len(spans), func() { done(firstErr) })
+	remaining := sim.NewErrCountdown(len(spans), done)
 	var consumed int64
 	for _, sp := range spans {
 		piece := data[consumed : consumed+sp.length]
 		consumed += sp.length
 		f.handles[sp.region][rank].WriteAt(piece, sp.local, func(err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			remaining.Done()
+			remaining.Done(err)
 		})
 	}
 }
@@ -154,19 +150,23 @@ func (f *HARLFile) ReadAt(rank int, off, size int64, done func([]byte, error)) {
 		return
 	}
 	out := make([]byte, size)
-	var firstErr error
-	remaining := sim.NewCountdown(len(spans), func() { done(out, firstErr) })
+	remaining := sim.NewErrCountdown(len(spans), func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(out, nil)
+	})
 	var consumed int64
 	for _, sp := range spans {
 		sp := sp
 		at := consumed
 		consumed += sp.length
 		f.handles[sp.region][rank].ReadAt(sp.local, sp.length, func(data []byte, err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err == nil {
+				copy(out[at:at+sp.length], data)
 			}
-			copy(out[at:at+sp.length], data)
-			remaining.Done()
+			remaining.Done(err)
 		})
 	}
 }

@@ -35,14 +35,10 @@ func (f *HARLFile) WriteZeros(rank int, off, size int64, done func(error)) {
 		f.engine().Schedule(0, func() { done(nil) })
 		return
 	}
-	var firstErr error
-	remaining := sim.NewCountdown(len(spans), func() { done(firstErr) })
+	remaining := sim.NewErrCountdown(len(spans), done)
 	for _, sp := range spans {
 		f.handles[sp.region][rank].WriteZeros(sp.local, sp.length, func(err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			remaining.Done()
+			remaining.Done(err)
 		})
 	}
 }
@@ -54,14 +50,10 @@ func (f *HARLFile) ReadDiscard(rank int, off, size int64, done func(error)) {
 		f.engine().Schedule(0, func() { done(nil) })
 		return
 	}
-	var firstErr error
-	remaining := sim.NewCountdown(len(spans), func() { done(firstErr) })
+	remaining := sim.NewErrCountdown(len(spans), done)
 	for _, sp := range spans {
 		f.handles[sp.region][rank].ReadDiscard(sp.local, sp.length, func(err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			remaining.Done()
+			remaining.Done(err)
 		})
 	}
 }

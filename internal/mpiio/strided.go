@@ -80,17 +80,19 @@ func (w *World) ReadStrided(f File, rank int, pattern Strided, done func([][]byt
 		})
 		return
 	}
-	var firstErr error
-	remaining := sim.NewCountdown(pattern.Count, func() { done(blocks, firstErr) })
+	remaining := sim.NewErrCountdown(pattern.Count, func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(blocks, nil)
+	})
 	for k := 0; k < pattern.Count; k++ {
 		k := k
 		f.ReadAt(rank, pattern.Offset+int64(k)*pattern.Stride, pattern.BlockSize,
 			func(data []byte, err error) {
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
 				blocks[k] = data
-				remaining.Done()
+				remaining.Done(err)
 			})
 	}
 }
@@ -133,14 +135,10 @@ func (w *World) WriteStrided(f File, rank int, pattern Strided, blocks [][]byte,
 		})
 		return
 	}
-	var firstErr error
-	remaining := sim.NewCountdown(pattern.Count, func() { done(firstErr) })
+	remaining := sim.NewErrCountdown(pattern.Count, done)
 	for k := 0; k < pattern.Count; k++ {
 		f.WriteAt(rank, pattern.Offset+int64(k)*pattern.Stride, blocks[k], func(err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			remaining.Done()
+			remaining.Done(err)
 		})
 	}
 }

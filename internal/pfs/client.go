@@ -20,6 +20,12 @@ type Client struct {
 	fs   *FS
 	name string
 	node *netsim.Node
+
+	// Policy governs deadlines, retries and hedged reads for every
+	// operation issued through this client (see retry.go). It defaults to
+	// the file system's ClientPolicy; the zero value reproduces the
+	// fault-free protocol exactly.
+	Policy Policy
 }
 
 // File is a client-side handle: cached metadata for a file.
@@ -39,14 +45,15 @@ func (f *File) Size() int64 { return f.meta.Size }
 
 // NewClient attaches a new client node to the file system's network.
 func (fs *FS) NewClient(name string) *Client {
-	return &Client{fs: fs, name: name, node: fs.net.AddNode(name)}
+	return &Client{fs: fs, name: name, node: fs.net.AddNode(name), Policy: fs.ClientPolicy}
 }
 
 // AdoptClient builds a client that shares an existing network node — used
 // when several simulated processes run on one compute node, as in the
-// paper's 16-processes-on-8-nodes IOR runs.
+// paper's 16-processes-on-8-nodes IOR runs. The new client inherits the
+// shared client's recovery policy.
 func (fs *FS) AdoptClient(name string, shared *Client) *Client {
-	return &Client{fs: fs, name: name, node: shared.node}
+	return &Client{fs: fs, name: name, node: shared.node, Policy: shared.Policy}
 }
 
 // Name returns the client's name.
@@ -57,9 +64,18 @@ func (c *Client) Name() string { return c.name }
 func (c *Client) Node() *netsim.Node { return c.node }
 
 // Create registers a file with the given striping via an MDS round trip
-// and returns an open handle.
+// and returns an open handle. Under a FailFast policy the MDS refuses
+// layouts that store data on a Down server (the file is not created);
+// otherwise the handle may be degraded — see (*File).Degraded.
 func (c *Client) Create(name string, lo layout.Mapper, done func(*File, error)) {
 	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
+		if c.Policy.FailFast && lo != nil && lo.Validate() == nil {
+			if down := c.fs.downServersIn(lo); len(down) > 0 {
+				c.fs.Faults.FailFasts++
+				done(nil, &DegradedError{Name: name, Servers: down})
+				return
+			}
+		}
 		meta, err := c.fs.create(name, lo)
 		if err != nil {
 			done(nil, err)
@@ -69,7 +85,9 @@ func (c *Client) Create(name string, lo layout.Mapper, done func(*File, error)) 
 	})
 }
 
-// Open resolves an existing file's metadata via an MDS round trip.
+// Open resolves an existing file's metadata via an MDS round trip. Under
+// a FailFast policy it refuses files whose layout stores data on a Down
+// server, returning *DegradedError.
 func (c *Client) Open(name string, done func(*File, error)) {
 	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
 		meta := c.fs.lookup(name)
@@ -77,8 +95,21 @@ func (c *Client) Open(name string, done func(*File, error)) {
 			done(nil, fmt.Errorf("pfs: file %q does not exist", name))
 			return
 		}
+		if c.Policy.FailFast {
+			if down := c.fs.downServersIn(meta.Layout); len(down) > 0 {
+				c.fs.Faults.FailFasts++
+				done(nil, &DegradedError{Name: name, Servers: down})
+				return
+			}
+		}
 		done(&File{client: c, meta: meta}, nil)
 	})
+}
+
+// Degraded lists the Down servers this file's layout stores data on — an
+// empty slice means every byte of the file is currently reachable.
+func (f *File) Degraded() []int {
+	return f.client.fs.downServersIn(f.meta.Layout)
 }
 
 // Remove deletes a file via the MDS.
@@ -96,7 +127,10 @@ func (c *Client) Rename(oldName, newName string, done func(error)) {
 }
 
 // WriteAt stores data at the logical offset, striping it across the data
-// servers; done fires when every server has acknowledged its sub-request.
+// servers; done fires when every server has acknowledged its sub-request,
+// or with the first fatal error once every sub-request has settled. The
+// EOF advances only on full success, so an acknowledged write is exactly
+// a committed write.
 func (f *File) WriteAt(data []byte, off int64, done func(error)) {
 	c := f.client
 	size := int64(len(data))
@@ -105,7 +139,11 @@ func (f *File) WriteAt(data []byte, off int64, done func(error)) {
 		return
 	}
 	subs := f.meta.Layout.Map(off, size)
-	remaining := sim.NewCountdown(len(subs), func() {
+	remaining := sim.NewErrCountdown(len(subs), func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
 		if eof := off + size; eof > f.meta.Size {
 			f.meta.Size = eof
 		}
@@ -116,23 +154,15 @@ func (f *File) WriteAt(data []byte, off int64, done func(error)) {
 	// logical buffer by walking the same stripe fragments.
 	bufs := f.splitBuffer(data, off)
 	for _, sub := range subs {
-		sub := sub
-		server := c.fs.servers[sub.Server]
-		payload := bufs[sub.Server]
-		// Data flows client -> server, then the disk commits it, then a
-		// small ack returns.
-		c.fs.net.Transfer(c.node, server.node, sub.Size, func(sim.Time) {
-			server.serve(device.Write, f.meta.ID, sub.Local, payload, sub.Size, func([]byte) {
-				c.fs.net.Transfer(server.node, c.node, 0, func(sim.Time) {
-					remaining.Done()
-				})
-			})
+		f.issueSub(device.Write, sub, bufs[sub.Server], false, func(_ []byte, err error) {
+			remaining.Done(err)
 		})
 	}
 }
 
 // ReadAt fetches size bytes at the logical offset; done receives the
-// reassembled buffer once the last server replies.
+// reassembled buffer once the last server replies, or the first fatal
+// error once every sub-request has settled.
 func (f *File) ReadAt(off, size int64, done func([]byte, error)) {
 	c := f.client
 	if size == 0 {
@@ -141,18 +171,20 @@ func (f *File) ReadAt(off, size int64, done func([]byte, error)) {
 	}
 	subs := f.meta.Layout.Map(off, size)
 	out := make([]byte, size)
-	remaining := sim.NewCountdown(len(subs), func() { done(out, nil) })
+	remaining := sim.NewErrCountdown(len(subs), func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(out, nil)
+	})
 	for _, sub := range subs {
 		sub := sub
-		server := c.fs.servers[sub.Server]
-		// Request message out, disk read, data back.
-		c.fs.net.Transfer(c.node, server.node, 0, func(sim.Time) {
-			server.serve(device.Read, f.meta.ID, sub.Local, nil, sub.Size, func(data []byte) {
-				c.fs.net.Transfer(server.node, c.node, sub.Size, func(sim.Time) {
-					f.scatterIntoBuffer(out, off, sub.Server, data)
-					remaining.Done()
-				})
-			})
+		f.issueSub(device.Read, sub, nil, false, func(data []byte, err error) {
+			if err == nil {
+				f.scatterIntoBuffer(out, off, sub.Server, data)
+			}
+			remaining.Done(err)
 		})
 	}
 }

@@ -44,9 +44,20 @@ type Server struct {
 	disk *sim.Resource
 	fs   *FS
 
-	// SlowFactor scales every service time on this server; 1 is healthy.
-	// Failure-injection tests use it to model a degraded disk.
+	// SlowFactor scales every service time on this server; 1 is healthy,
+	// factors in (0, 1) model faster-than-nominal devices. Must stay
+	// positive — serve panics otherwise. Fault injection drives it via
+	// FS.Straggle.
 	SlowFactor float64
+
+	// Fault-injection state (see faults.go). down servers drop requests;
+	// epoch distinguishes incarnations so in-flight requests from before a
+	// crash never reply after recovery; the flaky probabilities inject
+	// transient errors and silent drops at completion time.
+	down       bool
+	epoch      uint64
+	flakyErrP  float64
+	flakyDropP float64
 
 	// objects holds this server's portion of each file, keyed by file ID.
 	// Each object is sparse and stores the file's stripes contiguously,
@@ -80,24 +91,36 @@ func (s *Server) object(fileID uint64) *device.Store {
 
 // serve runs one sub-request through the disk queue and calls done when
 // the disk finishes. Data movement against the object store happens at
-// completion time.
-func (s *Server) serve(op device.Op, fileID uint64, local int64, data []byte, size int64, done func(data []byte)) {
-	service := s.Dev.ServiceTime(op, local, size, s.fs.engine.Rand())
-	if s.SlowFactor > 1 {
-		service = sim.Duration(float64(service) * s.SlowFactor)
+// completion time. A crashed server swallows the request — done never
+// fires, and clients recover through their deadline timers; a flaky
+// server may reply with a transient error, in which case a write is NOT
+// committed (so acknowledged bytes are exactly the committed bytes).
+func (s *Server) serve(op device.Op, fileID uint64, local int64, data []byte, size int64, done func(data []byte, err error)) {
+	epoch, ok := s.admit()
+	if !ok {
+		return
 	}
+	service := s.scale(s.Dev.ServiceTime(op, local, size, s.fs.engine.Rand()))
 	s.disk.Use(service, func(_, _ sim.Time) {
+		err, ok := s.deliver(epoch)
+		if !ok {
+			return
+		}
+		if err != nil {
+			done(nil, err)
+			return
+		}
 		obj := s.object(fileID)
 		if op == device.Write {
 			before := obj.Bytes()
 			obj.WriteAt(data, local)
 			s.stored += obj.Bytes() - before
-			done(nil)
+			done(nil, nil)
 			return
 		}
 		buf := make([]byte, size)
 		obj.ReadAt(buf, local)
-		done(buf)
+		done(buf, nil)
 	})
 }
 
@@ -118,9 +141,18 @@ type FS struct {
 	servers []*Server
 	files   map[string]*FileMeta
 	nextID  uint64
+	health  []Health
 
 	// MDSLookups counts metadata RPCs for overhead reports.
 	MDSLookups uint64
+
+	// Faults aggregates fault-injection and recovery counters (faults.go).
+	Faults FaultStats
+
+	// ClientPolicy is the default recovery policy handed to NewClient.
+	// The zero value disables deadlines, retries and hedging, reproducing
+	// the fault-free protocol exactly.
+	ClientPolicy Policy
 }
 
 // New assembles a file system from per-server device profiles. The
@@ -154,6 +186,7 @@ func New(e *sim.Engine, net *netsim.Network, profiles []device.Profile) (*FS, er
 			objects:    make(map[uint64]*device.Store),
 		})
 	}
+	fs.health = make([]Health, len(fs.servers))
 	return fs, nil
 }
 

@@ -10,7 +10,9 @@ import (
 // allocate 16 GB of backing pages; WriteZeros and ReadDiscard give the
 // exact same timing behaviour (striping, network, disk service) while the
 // sparse stores stay empty — logically, the file holds zeros, which is
-// also exactly what a read of the untouched ranges returns.
+// also exactly what a read of the untouched ranges returns. Phantom ops
+// run under the same recovery policy as their payload-carrying twins:
+// deadlines, retries and hedged reads all apply.
 
 // WriteZeros behaves like WriteAt with a size-long all-zero buffer but
 // allocates and stores nothing.
@@ -21,21 +23,19 @@ func (f *File) WriteZeros(off, size int64, done func(error)) {
 		return
 	}
 	subs := f.meta.Layout.Map(off, size)
-	remaining := sim.NewCountdown(len(subs), func() {
+	remaining := sim.NewErrCountdown(len(subs), func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
 		if eof := off + size; eof > f.meta.Size {
 			f.meta.Size = eof
 		}
 		done(nil)
 	})
 	for _, sub := range subs {
-		sub := sub
-		server := c.fs.servers[sub.Server]
-		c.fs.net.Transfer(c.node, server.node, sub.Size, func(sim.Time) {
-			server.servePhantom(device.Write, sub.Local, sub.Size, func() {
-				c.fs.net.Transfer(server.node, c.node, 0, func(sim.Time) {
-					remaining.Done()
-				})
-			})
+		f.issueSub(device.Write, sub, nil, true, func(_ []byte, err error) {
+			remaining.Done(err)
 		})
 	}
 }
@@ -48,26 +48,29 @@ func (f *File) ReadDiscard(off, size int64, done func(error)) {
 		return
 	}
 	subs := f.meta.Layout.Map(off, size)
-	remaining := sim.NewCountdown(len(subs), func() { done(nil) })
+	remaining := sim.NewErrCountdown(len(subs), func(err error) { done(err) })
 	for _, sub := range subs {
-		sub := sub
-		server := c.fs.servers[sub.Server]
-		c.fs.net.Transfer(c.node, server.node, 0, func(sim.Time) {
-			server.servePhantom(device.Read, sub.Local, sub.Size, func() {
-				c.fs.net.Transfer(server.node, c.node, sub.Size, func(sim.Time) {
-					remaining.Done()
-				})
-			})
+		f.issueSub(device.Read, sub, nil, true, func(_ []byte, err error) {
+			remaining.Done(err)
 		})
 	}
 }
 
 // servePhantom runs a sub-request through the disk queue without touching
-// the object store.
-func (s *Server) servePhantom(op device.Op, local, size int64, done func()) {
-	service := s.Dev.ServiceTime(op, local, size, s.fs.engine.Rand())
-	if s.SlowFactor > 1 {
-		service = sim.Duration(float64(service) * s.SlowFactor)
+// the object store. It shares serve's fault semantics: crashed servers
+// swallow the request, flaky servers may drop it or reply with a
+// transient error.
+func (s *Server) servePhantom(op device.Op, local, size int64, done func(err error)) {
+	epoch, ok := s.admit()
+	if !ok {
+		return
 	}
-	s.disk.Use(service, func(_, _ sim.Time) { done() })
+	service := s.scale(s.Dev.ServiceTime(op, local, size, s.fs.engine.Rand()))
+	s.disk.Use(service, func(_, _ sim.Time) {
+		err, ok := s.deliver(epoch)
+		if !ok {
+			return
+		}
+		done(err)
+	})
 }

@@ -1,0 +1,195 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+
+	"harl/internal/device"
+	"harl/internal/layout"
+	"harl/internal/sim"
+)
+
+// Client-side failure recovery: per-sub-request deadlines, bounded retry
+// with exponential backoff and jitter, and hedged reads. Everything runs
+// on virtual-clock timers, and the zero-value Policy reproduces the
+// legacy fault-free protocol event for event — no timers are armed and no
+// extra randomness is drawn, so fault-free runs stay bit-identical.
+//
+// Timers are not cancelled when an attempt resolves early; the losers
+// fire as no-ops. A drained engine's clock can therefore sit at the last
+// armed deadline, so latency measurements must bracket operations with
+// callbacks rather than read the clock after Run returns.
+
+// Policy configures a client's recovery behaviour. Fields at their zero
+// value disable the corresponding mechanism.
+type Policy struct {
+	// Timeout is the per-sub-request deadline. When it expires before the
+	// server replies the attempt fails with ErrTimeout (and may retry).
+	// 0 disables deadlines: a crashed server then hangs the operation.
+	Timeout sim.Duration
+
+	// MaxRetries bounds how many times one sub-request is re-issued after
+	// a retryable error (timeout or transient I/O error).
+	MaxRetries int
+
+	// Backoff is the base delay before the first retry; each further
+	// retry doubles it, with ±50% jitter drawn from the engine RNG.
+	// 0 retries immediately.
+	Backoff sim.Duration
+
+	// HedgeAfter re-issues a read sub-request that has not completed
+	// after this long and takes whichever copy finishes first — the
+	// classic tail-latency cut for straggling or request-dropping
+	// servers. 0 disables hedging. Writes are never hedged; their
+	// duplicate would double-commit queue load for no integrity benefit
+	// (retries already make writes idempotent).
+	HedgeAfter sim.Duration
+
+	// FailFast makes Open and Create refuse files whose layout stores
+	// data on a server the MDS considers Down, returning *DegradedError
+	// instead of a handle that would stall until recovery.
+	FailFast bool
+}
+
+// subOp drives one striped sub-request through deadline, retry, backoff
+// and hedging. done fires exactly once per sub-request, with the data
+// (reads) or the first fatal error.
+type subOp struct {
+	f       *File
+	op      device.Op
+	sub     layout.SubRequest
+	payload []byte // write payload; nil for reads and phantom ops
+	phantom bool
+	done    func([]byte, error)
+
+	attempt int
+	settled bool
+}
+
+// issueSub launches one sub-request under the client's policy. With the
+// zero policy this is exactly the legacy wire protocol: request out,
+// disk service, reply back, done.
+func (f *File) issueSub(op device.Op, sub layout.SubRequest, payload []byte, phantom bool, done func([]byte, error)) {
+	o := &subOp{f: f, op: op, sub: sub, payload: payload, phantom: phantom, done: done}
+	o.run()
+}
+
+func (o *subOp) settle(data []byte, err error) {
+	if o.settled {
+		return
+	}
+	o.settled = true
+	o.done(data, err)
+}
+
+// run launches one attempt: the primary wire exchange, an optional hedge
+// for reads, and a deadline timer. The first of the three to produce an
+// outcome resolves the attempt; the losers find resolved set and fall
+// silent, so late completions never touch freed state.
+func (o *subOp) run() {
+	c := o.f.client
+	p := c.Policy
+	fs := c.fs
+	server := fs.servers[o.sub.Server]
+
+	resolved := false
+	resolve := func(hedge bool, data []byte, err error) {
+		if resolved || o.settled {
+			return
+		}
+		resolved = true
+		if hedge {
+			fs.Faults.HedgeWins++
+		}
+		o.outcome(server, data, err)
+	}
+
+	// exchange performs one full wire round trip against the server.
+	// A request the server drops simply never calls back; the deadline
+	// timer is then the only way this attempt resolves.
+	exchange := func(hedge bool) {
+		var outBytes, replyBytes int64
+		if o.op == device.Write {
+			outBytes = o.sub.Size
+		} else {
+			replyBytes = o.sub.Size
+		}
+		fs.net.Transfer(c.node, server.node, outBytes, func(sim.Time) {
+			handle := func(data []byte, err error) {
+				back := replyBytes
+				if err != nil {
+					back = 0 // error replies carry no payload
+				}
+				fs.net.Transfer(server.node, c.node, back, func(sim.Time) {
+					resolve(hedge, data, err)
+				})
+			}
+			if o.phantom {
+				server.servePhantom(o.op, o.sub.Local, o.sub.Size, func(err error) {
+					handle(nil, err)
+				})
+			} else {
+				server.serve(o.op, o.f.meta.ID, o.sub.Local, o.payload, o.sub.Size, handle)
+			}
+		})
+	}
+
+	exchange(false)
+	if o.op == device.Read && p.HedgeAfter > 0 {
+		fs.engine.Schedule(p.HedgeAfter, func() {
+			if resolved || o.settled {
+				return
+			}
+			fs.Faults.Hedges++
+			exchange(true)
+		})
+	}
+	if p.Timeout > 0 {
+		fs.engine.Schedule(p.Timeout, func() {
+			resolve(false, nil, fmt.Errorf("%w: server %s", ErrTimeout, server.Name))
+		})
+	}
+}
+
+// outcome handles one attempt's result: success clears Suspect, a
+// retryable failure re-runs after backoff while budget remains, and
+// anything else settles the sub-request with an error.
+func (o *subOp) outcome(server *Server, data []byte, err error) {
+	fs := o.f.client.fs
+	if err == nil {
+		fs.markHealthy(server.ID)
+		o.settle(data, nil)
+		return
+	}
+	if errors.Is(err, ErrTimeout) {
+		fs.Faults.Timeouts++
+		fs.markSuspect(server.ID)
+	}
+	p := o.f.client.Policy
+	if o.attempt < p.MaxRetries && Retryable(err) {
+		o.attempt++
+		fs.Faults.Retries++
+		fs.engine.Schedule(o.backoff(p), o.run)
+		return
+	}
+	if p.MaxRetries > 0 {
+		err = fmt.Errorf("%w: %w", ErrRetriesExhausted, err)
+	}
+	o.settle(nil, err)
+}
+
+// backoff returns the delay before attempt n (1-based): Backoff doubled
+// per retry with ±50% jitter. The RNG is touched only here, so runs
+// without faults draw exactly the randomness they always did.
+func (o *subOp) backoff(p Policy) sim.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	exp := o.attempt - 1
+	if exp > 16 {
+		exp = 16 // cap the doubling well below overflow
+	}
+	base := p.Backoff << uint(exp)
+	jitter := 0.5 + o.f.client.fs.engine.Rand().Float64() // [0.5, 1.5)
+	return sim.Duration(float64(base) * jitter)
+}

@@ -145,6 +145,59 @@ func (c *Countdown) Done() {
 // Remaining reports how many completions are still outstanding.
 func (c *Countdown) Remaining() int { return c.remaining }
 
+// ErrCountdown is Countdown with a failure path, the completion primitive
+// for scatter-gather operations that can partially fail: the first
+// non-nil error wins, but the callback still waits for every straggler —
+// like errgroup.Wait — so no sub-request outlives its parent operation
+// and late completions never touch freed state.
+type ErrCountdown struct {
+	remaining int
+	fn        func(error)
+	firstErr  error
+	fired     bool
+}
+
+// NewErrCountdown returns a countdown that calls fn(firstErr) after n
+// Done calls. n == 0 fires fn(nil) on construction, matching NewCountdown.
+func NewErrCountdown(n int, fn func(error)) *ErrCountdown {
+	c := &ErrCountdown{remaining: n, fn: fn}
+	if n == 0 {
+		c.fire()
+	}
+	return c
+}
+
+func (c *ErrCountdown) fire() {
+	if c.fired {
+		panic("sim: err countdown fired twice")
+	}
+	c.fired = true
+	if c.fn != nil {
+		c.fn(c.firstErr)
+	}
+}
+
+// Done records one completion and its outcome; the n-th call fires the
+// callback with the first non-nil error recorded (nil if all succeeded).
+func (c *ErrCountdown) Done(err error) {
+	if c.fired {
+		panic("sim: err countdown Done after fire")
+	}
+	if err != nil && c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.remaining--
+	if c.remaining == 0 {
+		c.fire()
+	}
+}
+
+// Err returns the first error recorded so far.
+func (c *ErrCountdown) Err() error { return c.firstErr }
+
+// Remaining reports how many completions are still outstanding.
+func (c *ErrCountdown) Remaining() int { return c.remaining }
+
 // Barrier synchronizes a fixed party of processes: the callback passed to
 // each Arrive call is deferred until all parties have arrived, then all
 // callbacks run at the arrival time of the last party (in arrival order).

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -156,6 +157,53 @@ func TestCountdownZero(t *testing.T) {
 	NewCountdown(0, func() { fired = true })
 	if !fired {
 		t.Fatal("zero countdown should fire immediately")
+	}
+}
+
+func TestErrCountdownFirstErrorWinsButWaits(t *testing.T) {
+	var got error
+	fired := false
+	c := NewErrCountdown(3, func(err error) { fired = true; got = err })
+	errA := fmt.Errorf("first failure")
+	errB := fmt.Errorf("second failure")
+	c.Done(nil)
+	c.Done(errA)
+	if fired {
+		t.Fatal("fired before all completions arrived")
+	}
+	if c.Err() != errA {
+		t.Fatalf("Err() = %v, want %v", c.Err(), errA)
+	}
+	c.Done(errB)
+	if !fired {
+		t.Fatal("did not fire after n completions")
+	}
+	if got != errA {
+		t.Fatalf("callback error = %v, want first error %v", got, errA)
+	}
+	mustPanic(t, func() { c.Done(nil) })
+}
+
+func TestErrCountdownAllSuccess(t *testing.T) {
+	var got error = fmt.Errorf("sentinel")
+	c := NewErrCountdown(2, func(err error) { got = err })
+	c.Done(nil)
+	c.Done(nil)
+	if got != nil {
+		t.Fatalf("callback error = %v, want nil", got)
+	}
+}
+
+func TestErrCountdownZero(t *testing.T) {
+	fired := false
+	NewErrCountdown(0, func(err error) {
+		if err != nil {
+			t.Errorf("zero countdown error = %v", err)
+		}
+		fired = true
+	})
+	if !fired {
+		t.Fatal("zero err countdown should fire immediately")
 	}
 }
 
