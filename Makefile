@@ -5,7 +5,7 @@ GO ?= go
 # seed the failure printed.
 CHAOS_SEED ?= 1
 
-.PHONY: verify build test race bench vet chaos
+.PHONY: verify build test race bench vet chaos trace
 
 # verify is the tier-1 gate: everything must pass before a commit lands.
 verify:
@@ -13,6 +13,7 @@ verify:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) trace
 
 # chaos runs the seeded fault-injection suite under the race detector:
 # integrity under chaos, determinism across Parallelism, hedged-read
@@ -20,6 +21,18 @@ verify:
 chaos:
 	@CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run 'Chaos|Hedge|Fault|Flaky|Crash|Restripe|Straggle|Watchdog' ./internal/... \
 		|| { echo "chaos suite failed; reproduce with: make chaos CHAOS_SEED=$(CHAOS_SEED)"; exit 1; }
+
+# trace is the observability golden check: two same-seed instrumented
+# runs must export byte-identical Chrome traces and metrics dumps.
+trace:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/harlctl trace -quick -out $$tmp/a.json -metrics-out $$tmp/a.txt >/dev/null && \
+	$(GO) run ./cmd/harlctl trace -quick -out $$tmp/b.json -metrics-out $$tmp/b.txt >/dev/null && \
+	if cmp -s $$tmp/a.json $$tmp/b.json && cmp -s $$tmp/a.txt $$tmp/b.txt; then \
+		echo "trace determinism check passed"; rm -rf $$tmp; \
+	else \
+		echo "trace determinism check failed: same-seed exports differ"; rm -rf $$tmp; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

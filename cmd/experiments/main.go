@@ -72,6 +72,7 @@ func main() {
 		{"baselines", experiments.BaselineComparison},
 		{"chaos", experiments.FigChaos},
 		{"hedge", experiments.FigHedge},
+		{"breakdown", experiments.FigTraceBreakdown},
 	}
 
 	ran := 0

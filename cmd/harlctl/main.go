@@ -6,16 +6,25 @@
 //
 //	harlctl summary  -trace ior.trace
 //	harlctl divide   -trace ior.trace [-threshold 100] [-chunk 64M]
-//	harlctl optimize -trace ior.trace -out file.rst [-hservers 6] [-sservers 2] [-probes 1000]
+//	harlctl optimize -trace ior.trace -out file.rst [-hservers 6] [-sservers 2] [-probes 1000] [-profile]
 //	harlctl show     -rst file.rst
 //	harlctl chaos    [-chaos-seed N] [-max-retries N] [-timeout D] [-backoff D] [-hedge-after D]
+//	harlctl trace    [-out trace.json] [-metrics-out metrics.txt] [-seed N] [-quick]
+//	harlctl metrics  [-seed N] [-quick]
 //
 // optimize calibrates the cost model against the default simulated device
-// profiles (the stand-in for probing one real server of each class).
+// profiles (the stand-in for probing one real server of each class);
+// -profile prints where the Analysis Phase spent its search budget.
 // chaos runs the fault-injection scenario on the simulated testbed:
 // IOR-style traffic through the seeded fault schedule, with the given
 // client recovery policy, plus the hedged-read straggler scan. The same
 // -chaos-seed always replays the same fault sequence.
+// trace runs the instrumented IOR baseline through the full HARL pipeline
+// and exports the span trace as Chrome trace_event JSON — open the file
+// at https://ui.perfetto.dev to see every request's journey client →
+// network → disk on the virtual timeline. metrics runs the same workload
+// and dumps the metrics registry as text. Both are deterministic: the
+// same seed always produces byte-identical output.
 package main
 
 import (
@@ -51,6 +60,10 @@ func main() {
 		err = cmdShow(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	default:
 		usage()
 	}
@@ -61,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos|trace|metrics} [flags]")
 	os.Exit(2)
 }
 
@@ -134,6 +147,7 @@ func cmdOptimize(args []string) error {
 	step := fs.Int64("step", harl.DefaultStep, "Algorithm 2 grid step")
 	tiers := fs.Bool("tiers", false, "three-tier mode: hservers HDDs + 1 SATA SSD + 1 PCIe SSD, tiered RST output")
 	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS; the plan is identical at every setting)")
+	profile := fs.Bool("profile", false, "print the Analysis Phase search profile (two-tier mode only)")
 	fs.Parse(args)
 	if *path == "" || *out == "" {
 		return fmt.Errorf("-trace and -out are required")
@@ -150,9 +164,18 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	plan, err := harl.Planner{Params: params, ChunkSize: *chunk, Step: *step, Parallelism: *parallel}.Analyze(tr)
+	pl := harl.Planner{Params: params, ChunkSize: *chunk, Step: *step, Parallelism: *parallel}
+	if *profile {
+		pl.Profile = &harl.SearchProfile{}
+	}
+	plan, err := pl.Analyze(tr)
 	if err != nil {
 		return err
+	}
+	if pl.Profile != nil {
+		if _, err := pl.Profile.WriteTo(os.Stdout); err != nil {
+			return err
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -246,6 +269,73 @@ func cmdChaos(args []string) error {
 		fmt.Println(table)
 	}
 	return nil
+}
+
+// traceOptions maps the shared trace/metrics flags onto experiment
+// options.
+func traceOptions(seed int64, quick bool, parallel int) experiments.Options {
+	opts := experiments.DefaultOptions()
+	if quick {
+		opts = experiments.QuickOptions()
+	}
+	opts.Seed = seed
+	opts.Parallelism = parallel
+	return opts
+}
+
+// cmdTrace runs the instrumented IOR baseline and exports the span trace
+// as Chrome trace_event JSON for Perfetto.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("out", "trace.json", "output Chrome trace_event JSON (open at ui.perfetto.dev)")
+	metricsOut := fs.String("metrics-out", "", "also dump the metrics registry to this file")
+	seed := fs.Int64("seed", 1, "simulation seed (same seed, byte-identical trace)")
+	quick := fs.Bool("quick", false, "run at reduced scale")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	run, err := experiments.TraceIOR(traceOptions(*seed, *quick, *parallel))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := run.WriteChrome(f); err != nil {
+		return err
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		if err := run.WriteMetrics(mf); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("ior: write %.1f MB/s  read %.1f MB/s  (%d regions, ended at %v)\n",
+		run.Result.WriteMBs(), run.Result.ReadMBs(), len(run.Plan.RST.Entries), run.End)
+	fmt.Printf("%d spans written to %s — open at https://ui.perfetto.dev\n", run.Tracer.Len(), *out)
+	return nil
+}
+
+// cmdMetrics runs the same instrumented workload and dumps the metrics
+// registry as text.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	quick := fs.Bool("quick", false, "run at reduced scale")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	run, err := experiments.TraceIOR(traceOptions(*seed, *quick, *parallel))
+	if err != nil {
+		return err
+	}
+	return run.WriteMetrics(os.Stdout)
 }
 
 func cmdShow(args []string) error {

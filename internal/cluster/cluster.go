@@ -12,6 +12,7 @@ import (
 	"harl/internal/cost"
 	"harl/internal/device"
 	"harl/internal/netsim"
+	"harl/internal/obs"
 	"harl/internal/pfs"
 	"harl/internal/sim"
 )
@@ -75,6 +76,16 @@ type Testbed struct {
 	Engine *sim.Engine
 	Net    *netsim.Network
 	FS     *pfs.FS
+}
+
+// Instrument attaches a fresh tracer and metrics registry to the
+// testbed's file system and network and returns both — the one-call
+// observability switch experiments flip before running a workload.
+func (t *Testbed) Instrument() (*obs.Tracer, *obs.Registry) {
+	tr := obs.NewTracer(t.Engine)
+	reg := obs.NewRegistry()
+	t.FS.Instrument(tr, reg)
+	return tr, reg
 }
 
 // New builds a testbed: HServers first (indices 0..H-1), then SServers,

@@ -128,6 +128,20 @@ func (o Optimizer) step() int64 {
 // size, the R̄ bound of Algorithm 2's loops. It returns the best pair and
 // its total model cost.
 func (o Optimizer) OptimizeRegion(records []trace.Record, base int64, avg float64) (StripePair, float64) {
+	best, bestCost, _ := o.optimize(records, base, avg)
+	return best, bestCost
+}
+
+// OptimizeRegionProfiled is OptimizeRegion returning the search profile
+// alongside the result. The chosen pair is bit-identical to the
+// unprofiled call; the counters are reproducible only at Parallelism 1
+// (see profile.go).
+func (o Optimizer) OptimizeRegionProfiled(records []trace.Record, base int64, avg float64) (StripePair, float64, RegionSearch) {
+	return o.optimize(records, base, avg)
+}
+
+// optimize is the shared grid-search core.
+func (o Optimizer) optimize(records []trace.Record, base int64, avg float64) (StripePair, float64, RegionSearch) {
 	if len(records) == 0 {
 		panic("harl: optimizing a region with no requests")
 	}
@@ -159,7 +173,15 @@ func (o Optimizer) OptimizeRegion(records []trace.Record, base int64, avg float6
 			best, bestCost = w.best, w.bestCost
 		}
 	}
-	return best, bestCost
+	rs := RegionSearch{Requests: len(records), Sampled: len(sample), Best: best, Cost: bestCost}
+	for _, w := range ws {
+		rs.Candidates += w.candidates
+		rs.Scored += w.scored
+		rs.Pruned += w.pruned
+		rs.CacheHits += w.cacheHits
+		rs.Evals += w.evals
+	}
+	return best, bestCost, rs
 }
 
 // gridColumn is one shard of the candidate grid: the arithmetic sequence

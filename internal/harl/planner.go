@@ -2,6 +2,7 @@ package harl
 
 import (
 	"fmt"
+	"time"
 
 	"harl/internal/cost"
 	"harl/internal/region"
@@ -28,6 +29,11 @@ type Planner struct {
 	// between concurrent regions and each region's grid search, and the
 	// resulting plan is bit-identical at every setting.
 	Parallelism int
+
+	// Profile, when non-nil, is filled in by Analyze with the search's
+	// per-region and per-worker profile (see profile.go). Profiling never
+	// changes the produced plan.
+	Profile *SearchProfile
 
 	// noCache and noPrune ride through to the Optimizer; benchmark and
 	// test ablation knobs only.
@@ -91,10 +97,36 @@ func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
 		noPrune:     pl.noPrune,
 	}
 
+	prof := pl.Profile
+	var analyzeStart time.Time
+	if prof != nil {
+		prof.Regions = make([]RegionSearch, len(regions))
+		prof.Workers = make([]WorkerLoad, pool)
+		for w := range prof.Workers {
+			prof.Workers[w].Worker = w
+		}
+		analyzeStart = time.Now()
+	}
+
 	planned := make([]PlannedRegion, len(regions))
-	scatter(pool, len(regions), func(_, i int) {
+	scatter(pool, len(regions), func(w, i int) {
 		reg := regions[i]
-		pair, c := opt.OptimizeRegion(groups[i], reg.Offset, reg.AvgSize)
+		var pair StripePair
+		var c float64
+		if prof != nil {
+			// Each scatter worker index runs on exactly one goroutine, so
+			// Workers[w] is written race-free.
+			t0 := time.Now()
+			var rs RegionSearch
+			pair, c, rs = opt.OptimizeRegionProfiled(groups[i], reg.Offset, reg.AvgSize)
+			rs.Region = i
+			rs.WallNS = time.Since(t0).Nanoseconds()
+			prof.Regions[i] = rs
+			prof.Workers[w].Regions++
+			prof.Workers[w].WallNS += rs.WallNS
+		} else {
+			pair, c = opt.OptimizeRegion(groups[i], reg.Offset, reg.AvgSize)
+		}
 		planned[i] = PlannedRegion{
 			Region:    reg,
 			Stripes:   pair,
@@ -102,6 +134,9 @@ func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
 			WriteMix:  ReadWriteMix(groups[i]),
 		}
 	})
+	if prof != nil {
+		prof.WallNS = time.Since(analyzeStart).Nanoseconds()
+	}
 
 	plan := &Plan{Threshold: threshold, Regions: planned}
 	for _, r := range planned {

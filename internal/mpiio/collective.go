@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"harl/internal/obs"
 	"harl/internal/sim"
 )
 
@@ -50,6 +51,19 @@ func (w *World) CollectiveWrite(f File, pieces [][]CollPiece, done func(error)) 
 	}
 	aggs := w.aggregators()
 	domains := splitDomains(lo, hi, len(aggs))
+
+	tr := w.fs.Tracer()
+	var collSpan obs.SpanID
+	if tr != nil {
+		collSpan = tr.Begin("mpiio", "coll.write", 0,
+			obs.T("file", f.Name()), obs.TInt("lo", lo), obs.TInt("hi", hi),
+			obs.TInt("aggregators", int64(len(aggs))))
+		origDone := done
+		done = func(err error) {
+			tr.End(collSpan, obs.T("status", opStatus(err)))
+			origDone(err)
+		}
+	}
 
 	// Shuffle phase: move each rank's bytes into its target aggregators'
 	// buffers, one coalesced network message per (rank, aggregator) pair.
@@ -116,7 +130,7 @@ func (w *World) CollectiveWrite(f File, pieces [][]CollPiece, done func(error)) 
 		m := m
 		from := w.Client(m.fromRank)
 		to := w.Client(aggs[m.agg])
-		w.fs.Network().Transfer(from.Node(), to.Node(), m.bytes, func(sim.Time) {
+		w.fs.Network().TransferSpan(collSpan, from.Node(), to.Node(), m.bytes, func(sim.Time) {
 			states[m.agg].pieces = append(states[m.agg].pieces, m.pieces...)
 			shuffle.Done()
 		})
@@ -155,6 +169,19 @@ func (w *World) CollectiveRead(f File, ranges [][]CollRange, done func([][][]byt
 	}
 	aggs := w.aggregators()
 	domains := splitDomains(lo, hi, len(aggs))
+
+	tr := w.fs.Tracer()
+	var collSpan obs.SpanID
+	if tr != nil {
+		collSpan = tr.Begin("mpiio", "coll.read", 0,
+			obs.T("file", f.Name()), obs.TInt("lo", lo), obs.TInt("hi", hi),
+			obs.TInt("aggregators", int64(len(aggs))))
+		origDone := done
+		done = func(bufs [][][]byte, err error) {
+			tr.End(collSpan, obs.T("status", opStatus(err)))
+			origDone(bufs, err)
+		}
+	}
 
 	// Aggregators read the covered intervals of their domains. Coverage
 	// is the union of all rank ranges clipped to the domain.
@@ -228,7 +255,7 @@ func (w *World) CollectiveRead(f File, ranges [][]CollRange, done func([][][]byt
 		for _, m := range msgs {
 			from := w.Client(aggs[m.agg])
 			to := w.Client(m.rank)
-			w.fs.Network().Transfer(from.Node(), to.Node(), m.bytes, func(sim.Time) {
+			w.fs.Network().TransferSpan(collSpan, from.Node(), to.Node(), m.bytes, func(sim.Time) {
 				finish.Done()
 			})
 		}

@@ -3,9 +3,11 @@ package mpiio
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"harl/internal/harl"
 	"harl/internal/layout"
+	"harl/internal/obs"
 	"harl/internal/pfs"
 	"harl/internal/sim"
 )
@@ -24,6 +26,11 @@ type HARLFile struct {
 	bounds []regionBound
 	// handles[region][rank] is rank's open handle on the region's file.
 	handles [][]*pfs.File
+
+	// Per-region traffic counters, pre-resolved at create time when the
+	// file system carries a metrics registry; nil slices otherwise.
+	mRegionWrite []*obs.Counter
+	mRegionRead  []*obs.Counter
 }
 
 // regionBound is one region's logical range.
@@ -64,6 +71,7 @@ func (w *World) CreateHARL(name string, rst *harl.RST, done func(*HARLFile, erro
 	for _, e := range rst.Entries {
 		f.bounds = append(f.bounds, regionBound{Offset: e.Offset, End: e.End})
 	}
+	f.instrumentRegions(w.fs.Metrics())
 	var createRegion func(i int)
 	createRegion = func(i int) {
 		if i == len(rst.Entries) {
@@ -131,12 +139,21 @@ func (f *HARLFile) WriteAt(rank int, off int64, data []byte, done func(error)) {
 		f.engine().Schedule(0, func() { done(nil) })
 		return
 	}
-	remaining := sim.NewErrCountdown(len(spans), done)
+	tr, mpiSpan := f.beginMPI("mpi.write", rank, off, int64(len(data)), len(spans))
+	remaining := sim.NewErrCountdown(len(spans), func(err error) {
+		if tr != nil {
+			tr.End(mpiSpan, obs.T("status", opStatus(err)))
+		}
+		done(err)
+	})
 	var consumed int64
 	for _, sp := range spans {
 		piece := data[consumed : consumed+sp.length]
 		consumed += sp.length
-		f.handles[sp.region][rank].WriteAt(piece, sp.local, func(err error) {
+		if f.mRegionWrite != nil {
+			f.mRegionWrite[sp.region].Add(sp.length)
+		}
+		f.handles[sp.region][rank].WriteAtSpan(mpiSpan, piece, sp.local, func(err error) {
 			remaining.Done(err)
 		})
 	}
@@ -149,8 +166,12 @@ func (f *HARLFile) ReadAt(rank int, off, size int64, done func([]byte, error)) {
 		f.engine().Schedule(0, func() { done(nil, nil) })
 		return
 	}
+	tr, mpiSpan := f.beginMPI("mpi.read", rank, off, size, len(spans))
 	out := make([]byte, size)
 	remaining := sim.NewErrCountdown(len(spans), func(err error) {
+		if tr != nil {
+			tr.End(mpiSpan, obs.T("status", opStatus(err)))
+		}
 		if err != nil {
 			done(nil, err)
 			return
@@ -162,12 +183,51 @@ func (f *HARLFile) ReadAt(rank int, off, size int64, done func([]byte, error)) {
 		sp := sp
 		at := consumed
 		consumed += sp.length
-		f.handles[sp.region][rank].ReadAt(sp.local, sp.length, func(data []byte, err error) {
+		if f.mRegionRead != nil {
+			f.mRegionRead[sp.region].Add(sp.length)
+		}
+		f.handles[sp.region][rank].ReadAtSpan(mpiSpan, sp.local, sp.length, func(data []byte, err error) {
 			if err == nil {
 				copy(out[at:at+sp.length], data)
 			}
 			remaining.Done(err)
 		})
+	}
+}
+
+// beginMPI opens a logical-request span on the issuing rank's client
+// track when tracing is on; the per-region PFS operations nest under it.
+func (f *HARLFile) beginMPI(name string, rank int, off, size int64, regions int) (*obs.Tracer, obs.SpanID) {
+	tr := f.handles[0][0].Tracer()
+	if tr == nil {
+		return nil, 0
+	}
+	return tr, tr.Begin(f.handles[0][rank].ClientName(), name, 0,
+		obs.T("file", f.name), obs.TInt("rank", int64(rank)),
+		obs.TInt("off", off), obs.TInt("bytes", size),
+		obs.TInt("regions", int64(regions)))
+}
+
+// opStatus renders an operation's error as a span status tag.
+func opStatus(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}
+
+// instrumentRegions pre-resolves the per-region traffic counters so the
+// request path never touches the registry map. No-op without a registry.
+func (f *HARLFile) instrumentRegions(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	f.mRegionWrite = make([]*obs.Counter, len(f.bounds))
+	f.mRegionRead = make([]*obs.Counter, len(f.bounds))
+	for i := range f.bounds {
+		labels := []obs.Tag{obs.T("file", f.name), obs.T("region", strconv.Itoa(i))}
+		f.mRegionWrite[i] = reg.Counter("mpi_region_write_bytes_total", labels...)
+		f.mRegionRead[i] = reg.Counter("mpi_region_read_bytes_total", labels...)
 	}
 }
 
@@ -215,6 +275,7 @@ func (w *World) CreateHARLTiered(name string, trst *harl.TieredRST, done func(*H
 	for _, e := range trst.Entries {
 		f.bounds = append(f.bounds, regionBound{Offset: e.Offset, End: e.End})
 	}
+	f.instrumentRegions(w.fs.Metrics())
 	var createRegion func(i int)
 	createRegion = func(i int) {
 		if i == len(trst.Entries) {

@@ -2,6 +2,7 @@ package mpiio
 
 import (
 	"harl/internal/device"
+	"harl/internal/obs"
 	"harl/internal/sim"
 	"harl/internal/trace"
 )
@@ -35,9 +36,18 @@ func (f *HARLFile) WriteZeros(rank int, off, size int64, done func(error)) {
 		f.engine().Schedule(0, func() { done(nil) })
 		return
 	}
-	remaining := sim.NewErrCountdown(len(spans), done)
+	tr, mpiSpan := f.beginMPI("mpi.write", rank, off, size, len(spans))
+	remaining := sim.NewErrCountdown(len(spans), func(err error) {
+		if tr != nil {
+			tr.End(mpiSpan, obs.T("status", opStatus(err)))
+		}
+		done(err)
+	})
 	for _, sp := range spans {
-		f.handles[sp.region][rank].WriteZeros(sp.local, sp.length, func(err error) {
+		if f.mRegionWrite != nil {
+			f.mRegionWrite[sp.region].Add(sp.length)
+		}
+		f.handles[sp.region][rank].WriteZerosSpan(mpiSpan, sp.local, sp.length, func(err error) {
 			remaining.Done(err)
 		})
 	}
@@ -50,9 +60,18 @@ func (f *HARLFile) ReadDiscard(rank int, off, size int64, done func(error)) {
 		f.engine().Schedule(0, func() { done(nil) })
 		return
 	}
-	remaining := sim.NewErrCountdown(len(spans), done)
+	tr, mpiSpan := f.beginMPI("mpi.read", rank, off, size, len(spans))
+	remaining := sim.NewErrCountdown(len(spans), func(err error) {
+		if tr != nil {
+			tr.End(mpiSpan, obs.T("status", opStatus(err)))
+		}
+		done(err)
+	})
 	for _, sp := range spans {
-		f.handles[sp.region][rank].ReadDiscard(sp.local, sp.length, func(err error) {
+		if f.mRegionRead != nil {
+			f.mRegionRead[sp.region].Add(sp.length)
+		}
+		f.handles[sp.region][rank].ReadDiscardSpan(mpiSpan, sp.local, sp.length, func(err error) {
 			remaining.Done(err)
 		})
 	}

@@ -2,7 +2,9 @@ package mpiio
 
 import (
 	"fmt"
+	"strconv"
 
+	"harl/internal/obs"
 	"harl/internal/sim"
 )
 
@@ -65,8 +67,21 @@ func (w *World) ReadStrided(f File, rank int, pattern Strided, done func([][]byt
 		w.engine.Schedule(0, func() { done(nil, err) })
 		return
 	}
+	sieved := pattern.density() >= SieveThreshold
+	if tr := w.fs.Tracer(); tr != nil {
+		span := tr.Begin(w.Client(rank).Name(), "strided.read", 0,
+			obs.T("file", f.Name()), obs.TInt("rank", int64(rank)),
+			obs.TInt("blocks", int64(pattern.Count)), obs.TInt("bytes", pattern.Bytes()),
+			obs.T("density", strconv.FormatFloat(pattern.density(), 'g', 3, 64)),
+			obs.T("sieved", strconv.FormatBool(sieved)))
+		origDone := done
+		done = func(bufs [][]byte, err error) {
+			tr.End(span, obs.T("status", opStatus(err)))
+			origDone(bufs, err)
+		}
+	}
 	blocks := make([][]byte, pattern.Count)
-	if pattern.density() >= SieveThreshold {
+	if sieved {
 		f.ReadAt(rank, pattern.Offset, pattern.Extent(), func(data []byte, err error) {
 			if err != nil {
 				done(nil, err)
@@ -120,7 +135,20 @@ func (w *World) WriteStrided(f File, rank int, pattern Strided, blocks [][]byte,
 			return
 		}
 	}
-	if pattern.density() >= SieveThreshold && pattern.Count > 1 {
+	sieved := pattern.density() >= SieveThreshold && pattern.Count > 1
+	if tr := w.fs.Tracer(); tr != nil {
+		span := tr.Begin(w.Client(rank).Name(), "strided.write", 0,
+			obs.T("file", f.Name()), obs.TInt("rank", int64(rank)),
+			obs.TInt("blocks", int64(pattern.Count)), obs.TInt("bytes", pattern.Bytes()),
+			obs.T("density", strconv.FormatFloat(pattern.density(), 'g', 3, 64)),
+			obs.T("sieved", strconv.FormatBool(sieved)))
+		origDone := done
+		done = func(err error) {
+			tr.End(span, obs.T("status", opStatus(err)))
+			origDone(err)
+		}
+	}
+	if sieved {
 		// Read-modify-write: fetch the covering extent, splice the
 		// blocks in, write it back as one request.
 		f.ReadAt(rank, pattern.Offset, pattern.Extent(), func(data []byte, err error) {

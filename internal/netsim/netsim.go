@@ -10,6 +10,7 @@ package netsim
 import (
 	"fmt"
 
+	"harl/internal/obs"
 	"harl/internal/sim"
 )
 
@@ -43,6 +44,7 @@ type Network struct {
 	engine *sim.Engine
 	cfg    Config
 	nodes  map[string]*Node
+	tracer *obs.Tracer
 
 	// Transfers and BytesMoved account all traffic for reports.
 	Transfers  uint64
@@ -69,12 +71,32 @@ func MustNew(e *sim.Engine, cfg Config) *Network {
 // Config returns the link parameters.
 func (n *Network) Config() Config { return n.cfg }
 
+// Instrument attaches a tracer. The tracer only observes — it never
+// schedules events — so instrumented and uninstrumented runs execute
+// identically.
+func (n *Network) Instrument(tr *obs.Tracer) { n.tracer = tr }
+
+// SyncMetrics mirrors the network's accumulated traffic accounting and
+// per-node lane utilizations into the registry. Safe on a nil registry.
+func (n *Network) SyncMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("net_transfers_total").Set(int64(n.Transfers))
+	reg.Counter("net_bytes_total").Set(n.BytesMoved)
+	for name, nd := range n.nodes {
+		reg.Gauge("net_tx_utilization", obs.T("node", name)).Set(nd.TxUtilization())
+		reg.Gauge("net_rx_utilization", obs.T("node", name)).Set(nd.RxUtilization())
+	}
+}
+
 // Node is one machine's network attachment: independent transmit and
 // receive lanes, each carrying one frame stream at a time.
 type Node struct {
-	name string
-	tx   *sim.Resource
-	rx   *sim.Resource
+	name  string
+	track string // tracer track for transfers landing at this node
+	tx    *sim.Resource
+	rx    *sim.Resource
 }
 
 // Name returns the node's name.
@@ -92,9 +114,10 @@ func (n *Network) AddNode(name string) *Node {
 		panic(fmt.Sprintf("netsim: duplicate node %q", name))
 	}
 	nd := &Node{
-		name: name,
-		tx:   sim.NewResource(n.engine, name+"/tx", 1),
-		rx:   sim.NewResource(n.engine, name+"/rx", 1),
+		name:  name,
+		track: "net/" + name,
+		tx:    sim.NewResource(n.engine, name+"/tx", 1),
+		rx:    sim.NewResource(n.engine, name+"/rx", 1),
 	}
 	n.nodes[name] = nd
 	return nd
@@ -108,6 +131,14 @@ func (n *Network) Node(name string) *Node { return n.nodes[name] }
 // bare control message (latency only). Loopback (from == to) costs only
 // latency: local requests never touch the wire.
 func (n *Network) Transfer(from, to *Node, size int64, done func(at sim.Time)) {
+	n.TransferSpan(0, from, to, size, done)
+}
+
+// TransferSpan is Transfer with a parent span: when a tracer is attached,
+// the transfer records an "xfer" span on the destination node's track
+// covering submission to last-byte arrival, with the transmit-lane queue
+// wait as a tag.
+func (n *Network) TransferSpan(parent obs.SpanID, from, to *Node, size int64, done func(at sim.Time)) {
 	if from == nil || to == nil {
 		panic("netsim: transfer between nil nodes")
 	}
@@ -116,12 +147,22 @@ func (n *Network) Transfer(from, to *Node, size int64, done func(at sim.Time)) {
 	}
 	n.Transfers++
 	n.BytesMoved += size
+	tr := n.tracer
 
 	if from == to {
-		n.engine.Schedule(n.cfg.Latency, func() { n.finish(done) })
+		submit := n.engine.Now()
+		n.engine.Schedule(n.cfg.Latency, func() {
+			if tr != nil {
+				tr.Emit(to.track, "xfer", parent, submit, n.engine.Now(),
+					obs.T("src", from.name), obs.T("dst", to.name),
+					obs.TInt("bytes", size), obs.T("loopback", "1"))
+			}
+			n.finish(done)
+		})
 		return
 	}
 
+	submit := n.engine.Now()
 	wire := sim.BytesDuration(size, n.cfg.Bandwidth)
 	// The frame stream is pipelined cut-through: the receiver's lane
 	// carries the same bytes one propagation delay behind the sender's,
@@ -131,6 +172,12 @@ func (n *Network) Transfer(from, to *Node, size int64, done func(at sim.Time)) {
 	// they physically share a lane.
 	txStart, _ := from.tx.Use(wire, nil)
 	to.rx.UseAt(txStart.Add(n.cfg.Latency), wire, func(_, rxEnd sim.Time) {
+		if tr != nil {
+			tr.Emit(to.track, "xfer", parent, submit, rxEnd,
+				obs.T("src", from.name), obs.T("dst", to.name),
+				obs.TInt("bytes", size),
+				obs.TInt("tx_wait_ns", int64(txStart.Sub(submit))))
+		}
 		n.finish(done)
 	})
 }
@@ -144,7 +191,12 @@ func (n *Network) finish(done func(at sim.Time)) {
 // RoundTrip sends a control message from a to b and the reply back,
 // calling done when the reply arrives — the metadata-server RPC pattern.
 func (n *Network) RoundTrip(a, b *Node, request, reply int64, done func(at sim.Time)) {
-	n.Transfer(a, b, request, func(sim.Time) {
-		n.Transfer(b, a, reply, done)
+	n.RoundTripSpan(0, a, b, request, reply, done)
+}
+
+// RoundTripSpan is RoundTrip with a parent span for both legs.
+func (n *Network) RoundTripSpan(parent obs.SpanID, a, b *Node, request, reply int64, done func(at sim.Time)) {
+	n.TransferSpan(parent, a, b, request, func(sim.Time) {
+		n.TransferSpan(parent, b, a, reply, done)
 	})
 }

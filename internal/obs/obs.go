@@ -1,0 +1,201 @@
+// Package obs is the simulator's observability layer: a span-based
+// tracer and a metrics registry, both driven by the discrete-event
+// engine's virtual clock.
+//
+// Spans form a forest — each carries an optional parent ID — and live on
+// named tracks (one per client, server or network attachment), so a
+// request's journey client → network → disk renders as nested intervals
+// in a timeline viewer. Instant events annotate fault episodes (crash,
+// recover, straggle) inline on the affected track. The whole trace
+// exports to Chrome trace_event JSON (chrome.go), loadable in Perfetto.
+//
+// # Determinism contract
+//
+// A Tracer is a passive observer of the simulation:
+//
+//   - it never schedules events, arms timers, or draws from the engine's
+//     random source, so an instrumented run executes the exact event
+//     sequence of an uninstrumented one;
+//   - every timestamp is virtual time and every span ID comes from a
+//     plain counter, so two runs from the same seed produce byte-identical
+//     exported traces — no wall-clock reads anywhere;
+//   - a nil *Tracer is a valid, disabled tracer: every method is
+//     nil-receiver safe and returns immediately. Hot paths guard with
+//     `if tr != nil` before building tag lists, which keeps the disabled
+//     path free of allocations.
+//
+// The Tracer is not safe for concurrent use; like every simulated
+// component it runs on the single-threaded engine loop.
+package obs
+
+import (
+	"strconv"
+
+	"harl/internal/sim"
+)
+
+// SpanID identifies one span within a Tracer. 0 is "no span" — the zero
+// parent roots a new span tree, and disabled tracers hand out 0 for
+// every span so call sites can thread IDs without caring whether tracing
+// is on.
+type SpanID int64
+
+// Tag is one key/value annotation on a span or instant event.
+type Tag struct {
+	Key   string
+	Value string
+}
+
+// T builds a string tag.
+func T(key, value string) Tag { return Tag{Key: key, Value: value} }
+
+// TInt builds an integer tag.
+func TInt(key string, value int64) Tag {
+	return Tag{Key: key, Value: strconv.FormatInt(value, 10)}
+}
+
+// openEnd marks a span whose End was never called; the exporter clamps
+// it to a zero-duration span tagged "unfinished".
+const openEnd sim.Time = -1
+
+// Span is one recorded interval (or instant) on the virtual timeline.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Track  string
+	Name   string
+	Start  sim.Time
+	End    sim.Time // openEnd (-1) while the span is open
+	Inst   bool     // instant annotation, not an interval
+	Tags   []Tag
+}
+
+// Duration returns the span's length, 0 for instants and open spans.
+func (s Span) Duration() sim.Duration {
+	if s.Inst || s.End < s.Start {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Tag returns the value of the named tag and whether it is present.
+func (s Span) Tag(key string) (string, bool) {
+	for _, t := range s.Tags {
+		if t.Key == key {
+			return t.Value, true
+		}
+	}
+	return "", false
+}
+
+// Tracer records spans against an engine's virtual clock. The zero of
+// *Tracer (nil) is a disabled tracer; see the package comment.
+type Tracer struct {
+	engine *sim.Engine
+	spans  []Span
+}
+
+// NewTracer returns an enabled tracer reading timestamps from e.
+func NewTracer(e *sim.Engine) *Tracer {
+	if e == nil {
+		panic("obs: tracer needs an engine")
+	}
+	return &Tracer{engine: e}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len returns the number of recorded spans and instants.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Spans exposes the recorded spans in emission order. The slice is the
+// tracer's backing store; callers must not modify it.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// alloc appends a span and returns its ID (index+1, so IDs are dense,
+// deterministic, and 0 stays "no span").
+func (t *Tracer) alloc(s Span) SpanID {
+	id := SpanID(len(t.spans) + 1)
+	s.ID = id
+	t.spans = append(t.spans, s)
+	return id
+}
+
+// Begin opens a span at the current virtual time. Close it with End.
+func (t *Tracer) Begin(track, name string, parent SpanID, tags ...Tag) SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.alloc(Span{
+		Parent: parent,
+		Track:  track,
+		Name:   name,
+		Start:  t.engine.Now(),
+		End:    openEnd,
+		Tags:   tags,
+	})
+}
+
+// End closes a span at the current virtual time, appending any extra
+// tags (status, outcome). Ending span 0 or an already-closed span is a
+// no-op, so completion paths need no bookkeeping.
+func (t *Tracer) End(id SpanID, tags ...Tag) {
+	if t == nil || id <= 0 || int(id) > len(t.spans) {
+		return
+	}
+	s := &t.spans[id-1]
+	if s.End != openEnd || s.Inst {
+		return
+	}
+	s.End = t.engine.Now()
+	s.Tags = append(s.Tags, tags...)
+}
+
+// Emit records a complete span retroactively — used where the interval's
+// bounds are only known at completion, like a resource queue reporting
+// (start, end) to its done callback.
+func (t *Tracer) Emit(track, name string, parent SpanID, start, end sim.Time, tags ...Tag) SpanID {
+	if t == nil {
+		return 0
+	}
+	if end < start {
+		end = start
+	}
+	return t.alloc(Span{
+		Parent: parent,
+		Track:  track,
+		Name:   name,
+		Start:  start,
+		End:    end,
+		Tags:   tags,
+	})
+}
+
+// Instant records a zero-duration annotation at the current virtual
+// time — fault injections, retries, hedges.
+func (t *Tracer) Instant(track, name string, parent SpanID, tags ...Tag) SpanID {
+	if t == nil {
+		return 0
+	}
+	now := t.engine.Now()
+	return t.alloc(Span{
+		Parent: parent,
+		Track:  track,
+		Name:   name,
+		Start:  now,
+		End:    now,
+		Inst:   true,
+		Tags:   tags,
+	})
+}

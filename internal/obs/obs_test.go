@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"harl/internal/sim"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := NewTracer(e)
+
+	var inner SpanID
+	root := tr.Begin("cn0", "op", 0, T("file", "f"))
+	e.Schedule(sim.Millisecond, func() {
+		inner = tr.Begin("cn0", "sub", root, TInt("bytes", 4096))
+		e.Schedule(2*sim.Millisecond, func() {
+			tr.End(inner, T("status", "ok"))
+			tr.End(root)
+		})
+	})
+	e.Run()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	r, s := spans[0], spans[1]
+	if r.ID != root || s.Parent != root {
+		t.Fatalf("parentage broken: root=%d sub.parent=%d", r.ID, s.Parent)
+	}
+	if r.Start != 0 || r.End != sim.Time(3*sim.Millisecond) {
+		t.Fatalf("root interval [%v,%v]", r.Start, r.End)
+	}
+	if s.Duration() != 2*sim.Millisecond {
+		t.Fatalf("sub duration %v", s.Duration())
+	}
+	if v, ok := s.Tag("status"); !ok || v != "ok" {
+		t.Fatalf("End tags not appended: %v", s.Tags)
+	}
+	// Double-End is a no-op.
+	tr.End(root, T("again", "1"))
+	if _, ok := tr.Spans()[0].Tag("again"); ok {
+		t.Fatal("double End mutated a closed span")
+	}
+}
+
+func TestEmitAndInstant(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := NewTracer(e)
+	id := tr.Emit("h0", "disk", 0, sim.Time(10), sim.Time(30), T("op", "read"))
+	if d := tr.Spans()[id-1].Duration(); d != 20 {
+		t.Fatalf("emitted duration %v, want 20ns", d)
+	}
+	// Emit clamps inverted intervals rather than exporting negatives.
+	id = tr.Emit("h0", "disk", 0, sim.Time(30), sim.Time(10))
+	if d := tr.Spans()[id-1].Duration(); d != 0 {
+		t.Fatalf("inverted emit duration %v, want 0", d)
+	}
+	tr.Instant("h0", "fault.crash", 0)
+	last := tr.Spans()[tr.Len()-1]
+	if !last.Inst || last.Duration() != 0 {
+		t.Fatalf("instant malformed: %+v", last)
+	}
+}
+
+// TestNilTracerSafe proves the disabled tracer is inert: every method is
+// callable on nil and returns zero values.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() || tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	if id := tr.Begin("a", "b", 0); id != 0 {
+		t.Fatalf("nil Begin returned %d", id)
+	}
+	tr.End(1)
+	tr.Emit("a", "b", 0, 0, 1)
+	tr.Instant("a", "b", 0)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil tracer export is invalid JSON: %s", buf.String())
+	}
+}
+
+// TestNilTracerZeroAlloc is the disabled-hot-path contract: guarded call
+// sites (`if tr != nil { ... }`) plus nil-receiver methods must not
+// allocate.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr != nil {
+			tr.Begin("cn0", "op", 0, T("k", "v"))
+		}
+		tr.End(0)
+		if tr != nil {
+			tr.Emit("h0", "disk", 0, 0, 1)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer path allocates %.1f/op", allocs)
+	}
+}
+
+func TestNilRegistryZeroAlloc(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x") // nil
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", 0, 1, 4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(1.5)
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrument path allocates %.1f/op", allocs)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", T("server", "h0"), T("tier", "hdd"))
+	c.Add(5)
+	// Label order must not matter.
+	if got := reg.Counter("ops_total", T("tier", "hdd"), T("server", "h0")); got != c {
+		t.Fatal("label order created a second instrument")
+	}
+	if v := reg.CounterValue("ops_total", T("server", "h0"), T("tier", "hdd")); v != 5 {
+		t.Fatalf("counter = %d, want 5", v)
+	}
+	reg.Gauge("util", T("server", "h0")).Set(0.25)
+	if v := reg.GaugeValue("util", T("server", "h0")); v != 0.25 {
+		t.Fatalf("gauge = %v", v)
+	}
+	h := reg.Histogram("lat_ms", 0, 10, 5)
+	h.Observe(1)
+	h.Observe(9)
+	if h.Snapshot().Total() != 2 {
+		t.Fatalf("histogram total %d", h.Snapshot().Total())
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf, sim.Time(2*sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# virtual time 2s",
+		`lat_ms histogram samples=2 nan=0`,
+		`ops_total{server="h0",tier="hdd"} 5`,
+		`util{server="h0"} 0.25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Dumps must be deterministic.
+	var buf2 bytes.Buffer
+	if err := reg.WriteText(&buf2, sim.Time(2*sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("two dumps of one registry differ")
+	}
+}
+
+func TestRegistryKindClash(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+func TestWriteChrome(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := NewTracer(e)
+	root := tr.Begin("cn0", "op", 0, T("file", `quo"ted`))
+	e.Schedule(sim.Millisecond, func() {
+		tr.Emit("h0", "disk", root, sim.Time(100), e.Now(), T("op", "read"))
+		tr.Instant("h0", "fault.crash", 0)
+		tr.End(root)
+	})
+	tr.Begin("cn0", "left-open", 0) // never ended
+	e.Run()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// 2 thread_name metadata + 4 spans/instants.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	var phases []string
+	for _, ev := range doc.TraceEvents {
+		phases = append(phases, ev["ph"].(string))
+	}
+	joined := strings.Join(phases, "")
+	if joined != "MMXXXi" {
+		t.Fatalf("event phases %q, want MMXXXi", joined)
+	}
+	if !strings.Contains(buf.String(), `"unfinished":"1"`) {
+		t.Fatal("open span not flagged unfinished")
+	}
+
+	// Byte-identical re-export.
+	var buf2 bytes.Buffer
+	if err := tr.WriteChrome(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two exports of one trace differ")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"harl/internal/device"
 	"harl/internal/layout"
 	"harl/internal/netsim"
+	"harl/internal/obs"
 	"harl/internal/sim"
 )
 
@@ -40,6 +41,14 @@ func (f *File) Meta() FileMeta { return *f.meta }
 // Engine returns the simulation engine the file's operations run on.
 func (f *File) Engine() *sim.Engine { return f.client.fs.engine }
 
+// Tracer returns the file system's tracer (nil when uninstrumented) so
+// higher layers (mpiio) can open spans that parent this file's I/O.
+func (f *File) Tracer() *obs.Tracer { return f.client.fs.tracer }
+
+// ClientName returns the owning client's name — the tracer track client
+// operations record on.
+func (f *File) ClientName() string { return f.client.name }
+
 // Size returns the file's logical EOF at the time of the call.
 func (f *File) Size() int64 { return f.meta.Size }
 
@@ -68,15 +77,19 @@ func (c *Client) Node() *netsim.Node { return c.node }
 // layouts that store data on a Down server (the file is not created);
 // otherwise the handle may be degraded — see (*File).Degraded.
 func (c *Client) Create(name string, lo layout.Mapper, done func(*File, error)) {
-	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
+	span := c.beginMDS("create", name)
+	c.fs.net.RoundTripSpan(span, c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
 		if c.Policy.FailFast && lo != nil && lo.Validate() == nil {
 			if down := c.fs.downServersIn(lo); len(down) > 0 {
 				c.fs.Faults.FailFasts++
-				done(nil, &DegradedError{Name: name, Servers: down})
+				err := &DegradedError{Name: name, Servers: down}
+				c.endMDS(span, err)
+				done(nil, err)
 				return
 			}
 		}
 		meta, err := c.fs.create(name, lo)
+		c.endMDS(span, err)
 		if err != nil {
 			done(nil, err)
 			return
@@ -89,19 +102,25 @@ func (c *Client) Create(name string, lo layout.Mapper, done func(*File, error)) 
 // a FailFast policy it refuses files whose layout stores data on a Down
 // server, returning *DegradedError.
 func (c *Client) Open(name string, done func(*File, error)) {
-	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
+	span := c.beginMDS("open", name)
+	c.fs.net.RoundTripSpan(span, c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
 		meta := c.fs.lookup(name)
 		if meta == nil {
-			done(nil, fmt.Errorf("pfs: file %q does not exist", name))
+			err := fmt.Errorf("pfs: file %q does not exist", name)
+			c.endMDS(span, err)
+			done(nil, err)
 			return
 		}
 		if c.Policy.FailFast {
 			if down := c.fs.downServersIn(meta.Layout); len(down) > 0 {
 				c.fs.Faults.FailFasts++
-				done(nil, &DegradedError{Name: name, Servers: down})
+				err := &DegradedError{Name: name, Servers: down}
+				c.endMDS(span, err)
+				done(nil, err)
 				return
 			}
 		}
+		c.endMDS(span, nil)
 		done(&File{client: c, meta: meta}, nil)
 	})
 }
@@ -114,16 +133,46 @@ func (f *File) Degraded() []int {
 
 // Remove deletes a file via the MDS.
 func (c *Client) Remove(name string, done func(error)) {
-	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
-		done(c.fs.remove(name))
+	span := c.beginMDS("remove", name)
+	c.fs.net.RoundTripSpan(span, c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
+		err := c.fs.remove(name)
+		c.endMDS(span, err)
+		done(err)
 	})
 }
 
 // Rename renames a file via the MDS; the destination must not exist.
 func (c *Client) Rename(oldName, newName string, done func(error)) {
-	c.fs.net.RoundTrip(c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
-		done(c.fs.rename(oldName, newName))
+	span := c.beginMDS("rename", oldName)
+	c.fs.net.RoundTripSpan(span, c.node, c.fs.mdsNode, metaRPCBytes, metaRPCBytes, func(sim.Time) {
+		err := c.fs.rename(oldName, newName)
+		c.endMDS(span, err)
+		done(err)
 	})
+}
+
+// beginMDS opens a span for one metadata RPC; 0 when tracing is off.
+func (c *Client) beginMDS(op, file string) obs.SpanID {
+	tr := c.fs.tracer
+	if tr == nil {
+		return 0
+	}
+	return tr.Begin(c.name, "mds."+op, 0, obs.T("file", file))
+}
+
+// endMDS closes a metadata span with its status.
+func (c *Client) endMDS(id obs.SpanID, err error) {
+	if tr := c.fs.tracer; tr != nil {
+		tr.End(id, obs.T("status", errStatus(err)))
+	}
+}
+
+// errStatus renders an error as a span status tag.
+func errStatus(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
 }
 
 // WriteAt stores data at the logical offset, striping it across the data
@@ -132,14 +181,22 @@ func (c *Client) Rename(oldName, newName string, done func(error)) {
 // EOF advances only on full success, so an acknowledged write is exactly
 // a committed write.
 func (f *File) WriteAt(data []byte, off int64, done func(error)) {
+	f.WriteAtSpan(0, data, off, done)
+}
+
+// WriteAtSpan is WriteAt under a parent span: the operation and all its
+// sub-requests record as children when tracing is on.
+func (f *File) WriteAtSpan(parent obs.SpanID, data []byte, off int64, done func(error)) {
 	c := f.client
 	size := int64(len(data))
 	if size == 0 {
 		c.fs.engine.Schedule(0, func() { done(nil) })
 		return
 	}
+	span, finish := f.beginOp("pfs.write", parent, off, size)
 	subs := f.meta.Layout.Map(off, size)
 	remaining := sim.NewErrCountdown(len(subs), func(err error) {
+		finish(err)
 		if err != nil {
 			done(err)
 			return
@@ -154,7 +211,7 @@ func (f *File) WriteAt(data []byte, off int64, done func(error)) {
 	// logical buffer by walking the same stripe fragments.
 	bufs := f.splitBuffer(data, off)
 	for _, sub := range subs {
-		f.issueSub(device.Write, sub, bufs[sub.Server], false, func(_ []byte, err error) {
+		f.issueSub(device.Write, sub, bufs[sub.Server], false, span, func(_ []byte, err error) {
 			remaining.Done(err)
 		})
 	}
@@ -164,14 +221,21 @@ func (f *File) WriteAt(data []byte, off int64, done func(error)) {
 // reassembled buffer once the last server replies, or the first fatal
 // error once every sub-request has settled.
 func (f *File) ReadAt(off, size int64, done func([]byte, error)) {
+	f.ReadAtSpan(0, off, size, done)
+}
+
+// ReadAtSpan is ReadAt under a parent span.
+func (f *File) ReadAtSpan(parent obs.SpanID, off, size int64, done func([]byte, error)) {
 	c := f.client
 	if size == 0 {
 		c.fs.engine.Schedule(0, func() { done(nil, nil) })
 		return
 	}
+	span, finish := f.beginOp("pfs.read", parent, off, size)
 	subs := f.meta.Layout.Map(off, size)
 	out := make([]byte, size)
 	remaining := sim.NewErrCountdown(len(subs), func(err error) {
+		finish(err)
 		if err != nil {
 			done(nil, err)
 			return
@@ -180,12 +244,40 @@ func (f *File) ReadAt(off, size int64, done func([]byte, error)) {
 	})
 	for _, sub := range subs {
 		sub := sub
-		f.issueSub(device.Read, sub, nil, false, func(data []byte, err error) {
+		f.issueSub(device.Read, sub, nil, false, span, func(data []byte, err error) {
 			if err == nil {
 				f.scatterIntoBuffer(out, off, sub.Server, data)
 			}
 			remaining.Done(err)
 		})
+	}
+}
+
+// beginOp opens a client-operation span and returns a completion hook
+// that closes it and feeds the op-latency histogram. Both are cheap
+// no-ops when uninstrumented.
+func (f *File) beginOp(name string, parent obs.SpanID, off, size int64) (obs.SpanID, func(error)) {
+	fs := f.client.fs
+	tr, reg := fs.tracer, fs.metrics
+	if tr == nil && reg == nil {
+		return 0, func(error) {}
+	}
+	var span obs.SpanID
+	if tr != nil {
+		span = tr.Begin(f.client.name, name, parent,
+			obs.T("file", f.meta.Name), obs.TInt("off", off), obs.TInt("bytes", size))
+	}
+	start := fs.engine.Now()
+	return span, func(err error) {
+		if tr != nil {
+			tr.End(span, obs.T("status", errStatus(err)))
+		}
+		if reg != nil {
+			reg.Histogram("pfs_op_seconds", 0, 2, 80, obs.T("op", name)).
+				Observe(fs.engine.Now().Sub(start).Seconds())
+			reg.Counter("pfs_op_total", obs.T("op", name)).Inc()
+			reg.Counter("pfs_op_bytes_total", obs.T("op", name)).Add(size)
+		}
 	}
 }
 

@@ -3,8 +3,10 @@ package pfs
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"harl/internal/layout"
+	"harl/internal/obs"
 	"harl/internal/sim"
 )
 
@@ -96,6 +98,7 @@ func (fs *FS) Crash(server int) {
 	s.epoch++
 	fs.health[server] = Down
 	fs.Faults.Crashes++
+	fs.annotate(s, "fault.crash")
 }
 
 // Recover brings a crashed server back. Requests queued on its disk from
@@ -109,6 +112,7 @@ func (fs *FS) Recover(server int) {
 	s.down = false
 	fs.health[server] = Healthy
 	fs.Faults.Recoveries++
+	fs.annotate(s, "fault.recover")
 }
 
 // SetFlaky makes a server fail requests at completion time: with
@@ -122,6 +126,9 @@ func (fs *FS) SetFlaky(server int, errP, dropP float64) {
 	}
 	s := fs.server(server)
 	s.flakyErrP, s.flakyDropP = errP, dropP
+	fs.annotate(s, "fault.flaky",
+		obs.T("err_p", strconv.FormatFloat(errP, 'g', -1, 64)),
+		obs.T("drop_p", strconv.FormatFloat(dropP, 'g', -1, 64)))
 }
 
 // Straggle scales every service time on a server — the generalized
@@ -131,7 +138,18 @@ func (fs *FS) Straggle(server int, factor float64) {
 	if !(factor > 0) {
 		panic(fmt.Sprintf("pfs: server %d straggle factor %v must be positive", server, factor))
 	}
-	fs.server(server).SlowFactor = factor
+	s := fs.server(server)
+	s.SlowFactor = factor
+	fs.annotate(s, "fault.straggle",
+		obs.T("factor", strconv.FormatFloat(factor, 'g', -1, 64)))
+}
+
+// annotate drops an instant event on a server's track when tracing is on
+// — the chaos timeline rendered alongside the request spans.
+func (fs *FS) annotate(s *Server, name string, tags ...obs.Tag) {
+	if fs.tracer != nil {
+		fs.tracer.Instant(s.Name, name, 0, tags...)
+	}
 }
 
 // Health returns the MDS's current view of a server.

@@ -1,0 +1,106 @@
+package pfs
+
+import (
+	"harl/internal/device"
+	"harl/internal/obs"
+	"harl/internal/sim"
+)
+
+// Observability wiring. Instrument attaches a tracer and metrics registry
+// to the file system; both are passive observers that read the virtual
+// clock but never schedule events or draw from the engine RNG, so an
+// instrumented run executes the exact event sequence of a bare one. Left
+// uninstrumented, every hook below degenerates to nil-safe no-ops.
+
+// tierName renders a device kind as a metric/tag label.
+func tierName(k device.Kind) string {
+	if k == device.HDD {
+		return "hdd"
+	}
+	return "ssd"
+}
+
+// Instrument attaches observability instruments. Either argument may be
+// nil to enable only the other. Per-server disk counters are resolved
+// once here so the serve path never touches the registry map.
+func (fs *FS) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	fs.tracer = tr
+	fs.metrics = reg
+	fs.net.Instrument(tr)
+	for _, s := range fs.servers {
+		labels := []obs.Tag{obs.T("server", s.Name), obs.T("tier", tierName(s.Role()))}
+		s.mOps = reg.Counter("pfs_disk_ops_total", labels...)
+		s.mServiceNs = reg.Counter("pfs_disk_service_ns_total", labels...)
+		s.mWaitNs = reg.Counter("pfs_disk_wait_ns_total", labels...)
+	}
+}
+
+// Tracer returns the attached tracer (nil when uninstrumented).
+func (fs *FS) Tracer() *obs.Tracer { return fs.tracer }
+
+// Metrics returns the attached registry (nil when uninstrumented).
+func (fs *FS) Metrics() *obs.Registry { return fs.metrics }
+
+// SyncMetrics mirrors the file system's accumulated state — per-server
+// gauges, fault counters, MDS lookups, engine progress — into the
+// attached registry, stamping a consistent snapshot for WriteText. Safe
+// to call any number of times; no-op when uninstrumented.
+func (fs *FS) SyncMetrics() {
+	reg := fs.metrics
+	if reg == nil {
+		return
+	}
+	for _, s := range fs.servers {
+		labels := []obs.Tag{obs.T("server", s.Name), obs.T("tier", tierName(s.Role()))}
+		reg.Gauge("pfs_disk_busy_seconds", labels...).Set(s.DiskBusy().Seconds())
+		reg.Gauge("pfs_disk_utilization", labels...).Set(s.DiskUtilization())
+		reg.Gauge("pfs_stored_bytes", labels...).Set(float64(s.stored))
+		reg.Gauge("pfs_capacity_utilization", labels...).Set(s.Utilization())
+		reg.Gauge("pfs_disk_queue_max", labels...).Set(float64(s.maxQueued))
+		reg.Gauge("pfs_server_slow_factor", labels...).Set(s.SlowFactor)
+		reg.Gauge("pfs_server_health", labels...).Set(float64(fs.health[s.ID]))
+	}
+	f := &fs.Faults
+	reg.Counter("pfs_fault_crashes_total").Set(int64(f.Crashes))
+	reg.Counter("pfs_fault_recoveries_total").Set(int64(f.Recoveries))
+	reg.Counter("pfs_fault_dropped_total").Set(int64(f.Dropped))
+	reg.Counter("pfs_fault_flaky_errs_total").Set(int64(f.FlakyErrs))
+	reg.Counter("pfs_fault_timeouts_total").Set(int64(f.Timeouts))
+	reg.Counter("pfs_fault_retries_total").Set(int64(f.Retries))
+	reg.Counter("pfs_fault_hedges_total").Set(int64(f.Hedges))
+	reg.Counter("pfs_fault_hedge_wins_total").Set(int64(f.HedgeWins))
+	reg.Counter("pfs_fault_failfasts_total").Set(int64(f.FailFasts))
+	reg.Counter("pfs_mds_lookups_total").Set(int64(fs.MDSLookups))
+	reg.Counter("sim_events_processed_total").Set(int64(fs.engine.Processed))
+	fs.net.SyncMetrics(reg)
+}
+
+// enqueue tracks disk queue depth at submission.
+func (s *Server) enqueue() {
+	s.queued++
+	if s.queued > s.maxQueued {
+		s.maxQueued = s.queued
+	}
+}
+
+// observeDisk records one completed disk pass: queue-depth bookkeeping,
+// per-server counters, and — when tracing — a "disk.wait" span for the
+// time the request sat in the disk queue plus a "disk.read"/"disk.write"
+// span for the service itself, both on the server's track.
+func (s *Server) observeDisk(op device.Op, parent obs.SpanID, submit, start, end sim.Time, size int64) {
+	s.queued--
+	s.mOps.Inc()
+	s.mServiceNs.Add(int64(end.Sub(start)))
+	s.mWaitNs.Add(int64(start.Sub(submit)))
+	tr := s.fs.tracer
+	if tr == nil {
+		return
+	}
+	tier := tierName(s.Role())
+	if start > submit {
+		tr.Emit(s.Name, "disk.wait", parent, submit, start,
+			obs.T("tier", tier), obs.TInt("bytes", size))
+	}
+	tr.Emit(s.Name, "disk."+op.String(), parent, start, end,
+		obs.T("tier", tier), obs.TInt("bytes", size))
+}

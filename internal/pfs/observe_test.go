@@ -1,0 +1,114 @@
+package pfs
+
+import (
+	"math"
+	"testing"
+
+	"harl/internal/layout"
+	"harl/internal/obs"
+)
+
+func TestUtilizationAtTimeZero(t *testing.T) {
+	// Before any event has run, elapsed virtual time is zero; both
+	// utilization views must report a clean 0, never NaN or Inf.
+	_, fs := testbed(t)
+	for _, s := range fs.Servers() {
+		for name, u := range map[string]float64{
+			"Utilization":     s.Utilization(),
+			"DiskUtilization": s.DiskUtilization(),
+		} {
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				t.Errorf("%s %s = %v at time 0", s.Name, name, u)
+			}
+			if u != 0 {
+				t.Errorf("%s %s = %v at time 0, want 0", s.Name, name, u)
+			}
+		}
+	}
+}
+
+func TestInstrumentedWriteEmitsSpansAndCounters(t *testing.T) {
+	e, fs := testbed(t)
+	tr := obs.NewTracer(e)
+	reg := obs.NewRegistry()
+	fs.Instrument(tr, reg)
+
+	c := fs.NewClient("cn0")
+	f := mustCreate(t, e, c, "obs", layout.Fixed(6, 2, 64<<10))
+	data := make([]byte, 512<<10)
+	done := false
+	e.Schedule(0, func() {
+		f.WriteAt(data, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+			done = true
+		})
+	})
+	e.Run()
+	if !done {
+		t.Fatal("write did not complete")
+	}
+	fs.SyncMetrics()
+
+	names := make(map[string]int)
+	for _, sp := range tr.Spans() {
+		names[sp.Name]++
+	}
+	for _, want := range []string{"pfs.write", "attempt", "xfer", "disk.write", "mds.create"} {
+		if names[want] == 0 {
+			t.Errorf("no %q spans recorded (got %v)", want, names)
+		}
+	}
+	// A 512K request over a 64K x (6+2) round touches every server once.
+	if names["disk.write"] != 8 {
+		t.Errorf("%d disk.write spans, want 8", names["disk.write"])
+	}
+	var ops int64
+	for _, s := range fs.Servers() {
+		ops += reg.CounterValue("pfs_disk_ops_total",
+			obs.T("server", s.Name), obs.T("tier", tierName(s.Role())))
+	}
+	if ops != 8 {
+		t.Errorf("pfs_disk_ops_total across servers = %d, want 8", ops)
+	}
+	if v := reg.CounterValue("pfs_op_total", obs.T("op", "pfs.write")); v != 1 {
+		t.Errorf("pfs_op_total{op=pfs.write} = %d, want 1", v)
+	}
+}
+
+// benchWrites drives b.N closed-loop 512K writes through one client.
+func benchWrites(b *testing.B, instrument bool) {
+	e, fs := testbed(b)
+	if instrument {
+		fs.Instrument(obs.NewTracer(e), obs.NewRegistry())
+	}
+	c := fs.NewClient("cn0")
+	var f *File
+	e.Schedule(0, func() {
+		c.Create("bench", layout.Fixed(6, 2, 64<<10), func(file *File, err error) {
+			if err != nil {
+				b.Errorf("create: %v", err)
+				return
+			}
+			f = file
+		})
+	})
+	e.Run()
+	data := make([]byte, 512<<10)
+	b.ResetTimer()
+	var issue func(i int)
+	issue = func(i int) {
+		if i == b.N {
+			return
+		}
+		f.WriteAt(data, int64(i%64)*(512<<10), func(error) { issue(i + 1) })
+	}
+	e.Schedule(0, func() { issue(0) })
+	e.Run()
+}
+
+// The disabled-instrumentation path must not cost anything measurable;
+// compare: go test -bench BenchmarkWrite -benchmem ./internal/pfs/
+func BenchmarkWriteUninstrumented(b *testing.B) { benchWrites(b, false) }
+func BenchmarkWriteInstrumented(b *testing.B)   { benchWrites(b, true) }

@@ -22,6 +22,7 @@ import (
 	"harl/internal/device"
 	"harl/internal/layout"
 	"harl/internal/netsim"
+	"harl/internal/obs"
 	"harl/internal/sim"
 )
 
@@ -65,6 +66,15 @@ type Server struct {
 	objects map[uint64]*device.Store
 
 	stored int64 // bytes resident, for capacity accounting
+
+	// Observability (observe.go). The counters are pre-resolved at
+	// Instrument time and nil-safe, so uninstrumented serving pays only
+	// nil-pointer method calls. queued/maxQueued track disk queue depth.
+	mOps       *obs.Counter
+	mServiceNs *obs.Counter
+	mWaitNs    *obs.Counter
+	queued     int
+	maxQueued  int
 }
 
 // Role returns whether this is an HServer or SServer.
@@ -95,13 +105,16 @@ func (s *Server) object(fileID uint64) *device.Store {
 // fires, and clients recover through their deadline timers; a flaky
 // server may reply with a transient error, in which case a write is NOT
 // committed (so acknowledged bytes are exactly the committed bytes).
-func (s *Server) serve(op device.Op, fileID uint64, local int64, data []byte, size int64, done func(data []byte, err error)) {
+func (s *Server) serve(op device.Op, fileID uint64, local int64, data []byte, size int64, parent obs.SpanID, done func(data []byte, err error)) {
 	epoch, ok := s.admit()
 	if !ok {
 		return
 	}
 	service := s.scale(s.Dev.ServiceTime(op, local, size, s.fs.engine.Rand()))
-	s.disk.Use(service, func(_, _ sim.Time) {
+	submit := s.fs.engine.Now()
+	s.enqueue()
+	s.disk.Use(service, func(start, end sim.Time) {
+		s.observeDisk(op, parent, submit, start, end, size)
 		err, ok := s.deliver(epoch)
 		if !ok {
 			return
@@ -137,6 +150,10 @@ type FS struct {
 	engine  *sim.Engine
 	net     *netsim.Network
 	mdsNode *netsim.Node
+
+	// Observability hooks (observe.go); both nil until Instrument.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 
 	servers []*Server
 	files   map[string]*FileMeta
@@ -294,10 +311,18 @@ func (fs *FS) FileNames() []string {
 }
 
 // Utilization reports a server's stored bytes as a fraction of its
-// device capacity.
+// device capacity. A capacity-less profile reports 0, never NaN.
 func (s *Server) Utilization() float64 {
-	return float64(s.stored) / float64(s.Dev.Profile().Capacity)
+	capacity := s.Dev.Profile().Capacity
+	if capacity <= 0 {
+		return 0
+	}
+	return float64(s.stored) / float64(capacity)
 }
+
+// DiskUtilization reports the fraction of elapsed virtual time the disk
+// spent busy — 0 (not NaN) at virtual time 0, before anything has run.
+func (s *Server) DiskUtilization() float64 { return s.disk.Utilization() }
 
 // remove deletes a file and its server objects.
 func (fs *FS) remove(name string) error {

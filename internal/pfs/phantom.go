@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"harl/internal/device"
+	"harl/internal/obs"
 	"harl/internal/sim"
 )
 
@@ -17,13 +18,20 @@ import (
 // WriteZeros behaves like WriteAt with a size-long all-zero buffer but
 // allocates and stores nothing.
 func (f *File) WriteZeros(off, size int64, done func(error)) {
+	f.WriteZerosSpan(0, off, size, done)
+}
+
+// WriteZerosSpan is WriteZeros under a parent span.
+func (f *File) WriteZerosSpan(parent obs.SpanID, off, size int64, done func(error)) {
 	c := f.client
 	if size == 0 {
 		c.fs.engine.Schedule(0, func() { done(nil) })
 		return
 	}
+	span, finish := f.beginOp("pfs.write", parent, off, size)
 	subs := f.meta.Layout.Map(off, size)
 	remaining := sim.NewErrCountdown(len(subs), func(err error) {
+		finish(err)
 		if err != nil {
 			done(err)
 			return
@@ -34,7 +42,7 @@ func (f *File) WriteZeros(off, size int64, done func(error)) {
 		done(nil)
 	})
 	for _, sub := range subs {
-		f.issueSub(device.Write, sub, nil, true, func(_ []byte, err error) {
+		f.issueSub(device.Write, sub, nil, true, span, func(_ []byte, err error) {
 			remaining.Done(err)
 		})
 	}
@@ -42,15 +50,24 @@ func (f *File) WriteZeros(off, size int64, done func(error)) {
 
 // ReadDiscard behaves like ReadAt but never materializes the data.
 func (f *File) ReadDiscard(off, size int64, done func(error)) {
+	f.ReadDiscardSpan(0, off, size, done)
+}
+
+// ReadDiscardSpan is ReadDiscard under a parent span.
+func (f *File) ReadDiscardSpan(parent obs.SpanID, off, size int64, done func(error)) {
 	c := f.client
 	if size == 0 {
 		c.fs.engine.Schedule(0, func() { done(nil) })
 		return
 	}
+	span, finish := f.beginOp("pfs.read", parent, off, size)
 	subs := f.meta.Layout.Map(off, size)
-	remaining := sim.NewErrCountdown(len(subs), func(err error) { done(err) })
+	remaining := sim.NewErrCountdown(len(subs), func(err error) {
+		finish(err)
+		done(err)
+	})
 	for _, sub := range subs {
-		f.issueSub(device.Read, sub, nil, true, func(_ []byte, err error) {
+		f.issueSub(device.Read, sub, nil, true, span, func(_ []byte, err error) {
 			remaining.Done(err)
 		})
 	}
@@ -60,13 +77,16 @@ func (f *File) ReadDiscard(off, size int64, done func(error)) {
 // the object store. It shares serve's fault semantics: crashed servers
 // swallow the request, flaky servers may drop it or reply with a
 // transient error.
-func (s *Server) servePhantom(op device.Op, local, size int64, done func(err error)) {
+func (s *Server) servePhantom(op device.Op, local, size int64, parent obs.SpanID, done func(err error)) {
 	epoch, ok := s.admit()
 	if !ok {
 		return
 	}
 	service := s.scale(s.Dev.ServiceTime(op, local, size, s.fs.engine.Rand()))
-	s.disk.Use(service, func(_, _ sim.Time) {
+	submit := s.fs.engine.Now()
+	s.enqueue()
+	s.disk.Use(service, func(start, end sim.Time) {
+		s.observeDisk(op, parent, submit, start, end, size)
 		err, ok := s.deliver(epoch)
 		if !ok {
 			return

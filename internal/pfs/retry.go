@@ -6,6 +6,7 @@ import (
 
 	"harl/internal/device"
 	"harl/internal/layout"
+	"harl/internal/obs"
 	"harl/internal/sim"
 )
 
@@ -60,6 +61,7 @@ type subOp struct {
 	sub     layout.SubRequest
 	payload []byte // write payload; nil for reads and phantom ops
 	phantom bool
+	parent  obs.SpanID // enclosing operation's span; 0 when untraced
 	done    func([]byte, error)
 
 	attempt int
@@ -68,9 +70,10 @@ type subOp struct {
 
 // issueSub launches one sub-request under the client's policy. With the
 // zero policy this is exactly the legacy wire protocol: request out,
-// disk service, reply back, done.
-func (f *File) issueSub(op device.Op, sub layout.SubRequest, payload []byte, phantom bool, done func([]byte, error)) {
-	o := &subOp{f: f, op: op, sub: sub, payload: payload, phantom: phantom, done: done}
+// disk service, reply back, done. parent is the enclosing operation's
+// span; each attempt records a child span when tracing is on.
+func (f *File) issueSub(op device.Op, sub layout.SubRequest, payload []byte, phantom bool, parent obs.SpanID, done func([]byte, error)) {
+	o := &subOp{f: f, op: op, sub: sub, payload: payload, phantom: phantom, parent: parent, done: done}
 	o.run()
 }
 
@@ -92,6 +95,14 @@ func (o *subOp) run() {
 	fs := c.fs
 	server := fs.servers[o.sub.Server]
 
+	tr := fs.tracer
+	var span obs.SpanID
+	if tr != nil {
+		span = tr.Begin(c.name, "attempt", o.parent,
+			obs.T("op", o.op.String()), obs.T("server", server.Name),
+			obs.TInt("attempt", int64(o.attempt)), obs.TInt("bytes", o.sub.Size))
+	}
+
 	resolved := false
 	resolve := func(hedge bool, data []byte, err error) {
 		if resolved || o.settled {
@@ -100,6 +111,9 @@ func (o *subOp) run() {
 		resolved = true
 		if hedge {
 			fs.Faults.HedgeWins++
+		}
+		if tr != nil {
+			tr.End(span, obs.T("outcome", attemptOutcome(hedge, err)))
 		}
 		o.outcome(server, data, err)
 	}
@@ -114,22 +128,22 @@ func (o *subOp) run() {
 		} else {
 			replyBytes = o.sub.Size
 		}
-		fs.net.Transfer(c.node, server.node, outBytes, func(sim.Time) {
+		fs.net.TransferSpan(span, c.node, server.node, outBytes, func(sim.Time) {
 			handle := func(data []byte, err error) {
 				back := replyBytes
 				if err != nil {
 					back = 0 // error replies carry no payload
 				}
-				fs.net.Transfer(server.node, c.node, back, func(sim.Time) {
+				fs.net.TransferSpan(span, server.node, c.node, back, func(sim.Time) {
 					resolve(hedge, data, err)
 				})
 			}
 			if o.phantom {
-				server.servePhantom(o.op, o.sub.Local, o.sub.Size, func(err error) {
+				server.servePhantom(o.op, o.sub.Local, o.sub.Size, span, func(err error) {
 					handle(nil, err)
 				})
 			} else {
-				server.serve(o.op, o.f.meta.ID, o.sub.Local, o.payload, o.sub.Size, handle)
+				server.serve(o.op, o.f.meta.ID, o.sub.Local, o.payload, o.sub.Size, span, handle)
 			}
 		})
 	}
@@ -141,6 +155,9 @@ func (o *subOp) run() {
 				return
 			}
 			fs.Faults.Hedges++
+			if tr != nil {
+				tr.Instant(c.name, "hedge", span, obs.T("server", server.Name))
+			}
 			exchange(true)
 		})
 	}
@@ -169,6 +186,10 @@ func (o *subOp) outcome(server *Server, data []byte, err error) {
 	if o.attempt < p.MaxRetries && Retryable(err) {
 		o.attempt++
 		fs.Faults.Retries++
+		if tr := fs.tracer; tr != nil {
+			tr.Instant(o.f.client.name, "retry", o.parent,
+				obs.T("server", server.Name), obs.TInt("attempt", int64(o.attempt)))
+		}
 		fs.engine.Schedule(o.backoff(p), o.run)
 		return
 	}
@@ -176,6 +197,20 @@ func (o *subOp) outcome(server *Server, data []byte, err error) {
 		err = fmt.Errorf("%w: %w", ErrRetriesExhausted, err)
 	}
 	o.settle(nil, err)
+}
+
+// attemptOutcome renders an attempt's result for the span's outcome tag.
+func attemptOutcome(hedge bool, err error) string {
+	switch {
+	case err == nil && hedge:
+		return "hedge-win"
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	default:
+		return "error"
+	}
 }
 
 // backoff returns the delay before attempt n (1-based): Backoff doubled

@@ -112,7 +112,9 @@ func (e *Engine) Run() Time {
 
 // RunUntil executes events with timestamps <= deadline. Events scheduled
 // beyond the deadline remain queued; the clock is left at the later of the
-// last executed event and the deadline.
+// last executed event and the deadline. A Stop during the drain halts
+// event execution immediately and leaves the clock where it stopped —
+// the deadline is only claimed when the drain ran to completion.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
@@ -124,7 +126,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.Processed++
 		ev.fn()
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 	return e.now

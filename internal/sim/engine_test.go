@@ -97,6 +97,73 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+func TestEngineRunUntilBeforeFirstEvent(t *testing.T) {
+	// A deadline earlier than every queued event runs nothing but still
+	// advances the clock to the deadline.
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(5*Millisecond, func() { ran = true })
+	if got := e.RunUntil(Time(2 * Millisecond)); got != Time(2*Millisecond) {
+		t.Fatalf("RunUntil returned %v, want deadline 2ms", got)
+	}
+	if ran {
+		t.Fatal("event beyond the deadline ran")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// The later event still runs from the advanced clock.
+	e.Run()
+	if !ran || e.Now() != Time(5*Millisecond) {
+		t.Fatalf("drain after early deadline: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineRunUntilDeadlineOnEvent(t *testing.T) {
+	// An event exactly on the deadline is included (timestamps <= deadline
+	// run), and the clock lands on the deadline without overshooting.
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(Millisecond, func() { got = append(got, 1) })
+	e.Schedule(3*Millisecond, func() { got = append(got, 2) })
+	e.Schedule(3*Millisecond, func() { got = append(got, 3) }) // same-time tie
+	e.Schedule(3*Millisecond+1, func() { got = append(got, 4) })
+	if now := e.RunUntil(Time(3 * Millisecond)); now != Time(3*Millisecond) {
+		t.Fatalf("now = %v, want exactly 3ms", now)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("executed %v, want [1 2 3]", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want the 3ms+1ns event", e.Pending())
+	}
+}
+
+func TestEngineStopDuringRunUntil(t *testing.T) {
+	// Stop mid-drain halts immediately and must NOT fast-forward the clock
+	// to the deadline: the caller stopped the world at the current time.
+	e := NewEngine(1)
+	n := 0
+	e.Schedule(Millisecond, func() { n++; e.Stop() })
+	e.Schedule(2*Millisecond, func() { n++ })
+	if now := e.RunUntil(Time(10 * Millisecond)); now != Time(Millisecond) {
+		t.Fatalf("now = %v after Stop, want 1ms (not the 10ms deadline)", now)
+	}
+	if n != 1 {
+		t.Fatalf("executed %d events before stop, want 1", n)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// A fresh RunUntil clears the stop flag and resumes the drain.
+	if now := e.RunUntil(Time(10 * Millisecond)); now != Time(10*Millisecond) {
+		t.Fatalf("resumed RunUntil ended at %v, want 10ms", now)
+	}
+	if n != 2 || e.Pending() != 0 {
+		t.Fatalf("resume: n=%d pending=%d, want 2 and 0", n, e.Pending())
+	}
+}
+
 func TestEngineRejectsPastAndNegative(t *testing.T) {
 	e := NewEngine(1)
 	mustPanic(t, func() { e.Schedule(-1, func() {}) })

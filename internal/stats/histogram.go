@@ -7,13 +7,21 @@ import (
 	"strings"
 )
 
-// Histogram counts samples into fixed-width bins over [Lo, Hi). Samples
-// outside the range are clamped into the edge bins so totals are conserved;
-// benchmark reports use it to show request-size and latency distributions.
+// Histogram counts samples into fixed-width bins over [Lo, Hi). Finite
+// samples outside the range are clamped into the edge bins so totals are
+// conserved; benchmark reports use it to show request-size and latency
+// distributions. Non-finite samples are handled explicitly rather than
+// through the float→int conversion (whose result is platform-defined for
+// NaN and ±Inf): infinities clamp to the matching edge bin, NaN samples
+// are diverted to the NaNs counter and excluded from Counts and Total —
+// a NaN latency is a measurement bug to surface, not a sample.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int64
-	total  int64
+	// NaNs counts rejected NaN samples; they appear in neither Counts
+	// nor Total.
+	NaNs  int64
+	total int64
 }
 
 // NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
@@ -24,14 +32,27 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
 }
 
-// Add records one sample.
+// Add records one sample. NaN samples increment NaNs instead of a bin;
+// ±Inf clamp to the edge bins explicitly.
 func (h *Histogram) Add(x float64) {
-	idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
-	if idx < 0 {
-		idx = 0
+	if math.IsNaN(x) {
+		h.NaNs++
+		return
 	}
-	if idx >= len(h.Counts) {
+	var idx int
+	switch {
+	case math.IsInf(x, 1):
 		idx = len(h.Counts) - 1
+	case math.IsInf(x, -1):
+		idx = 0
+	default:
+		idx = int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(h.Counts) {
+			idx = len(h.Counts) - 1
+		}
 	}
 	h.Counts[idx]++
 	h.total++

@@ -157,6 +157,30 @@ func TestHistogram(t *testing.T) {
 	mustPanic(t, func() { NewHistogram(0, 1, 0) })
 }
 
+func TestHistogramNonFiniteSamples(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.NaN())
+	h.Add(math.NaN())
+	if h.NaNs != 2 {
+		t.Fatalf("NaNs = %d, want 2", h.NaNs)
+	}
+	// NaN samples appear in neither the bins nor the total.
+	if h.Total() != 0 {
+		t.Fatalf("total = %d after NaN-only input, want 0", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 0 {
+			t.Fatalf("bin %d = %d after NaN-only input", i, c)
+		}
+	}
+	// Infinities clamp to the matching edge bin and do count.
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	if h.Counts[0] != 1 || h.Counts[4] != 1 || h.Total() != 2 {
+		t.Fatalf("after ±Inf: counts = %v total = %d", h.Counts, h.Total())
+	}
+}
+
 func TestThroughputAndSpeedup(t *testing.T) {
 	approx(t, Throughput(100<<20, 2), 50, 1e-9, "Throughput")
 	if Throughput(0, 0) != 0 {
