@@ -5,15 +5,31 @@ GO ?= go
 # seed the failure printed.
 CHAOS_SEED ?= 1
 
-.PHONY: verify build test race bench vet chaos trace
+.PHONY: verify build test race bench vet chaos trace monitor benchcheck
 
 # verify is the tier-1 gate: everything must pass before a commit lands.
+# benchcheck is advisory (non-fatal): it flags benchmark drift but a
+# legitimate behavior change just re-runs `make bench` to refresh the
+# committed numbers.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) trace
+	$(MAKE) monitor
+	@$(MAKE) benchcheck || echo "warning: benchmark drift (non-fatal); refresh BENCH_PR5.json with 'make bench' if intended"
+
+# monitor runs the online-monitor suite under the race detector plus the
+# monitor-on/off differential proof: a monitored run must execute the
+# exact event sequence of a bare one.
+monitor:
+	$(GO) test -race ./internal/monitor ./internal/obs
+	$(GO) test -race -run 'DriftMonitorDifferential|MonitorMatchesRegistry|TracingDisabledDifferential' ./internal/experiments ./internal/mpiio
+
+# benchcheck compares fresh measurements against the committed snapshot.
+benchcheck:
+	$(GO) run ./cmd/benchguard -check -file BENCH_PR5.json
 
 # chaos runs the seeded fault-injection suite under the race detector:
 # integrity under chaos, determinism across Parallelism, hedged-read
@@ -46,7 +62,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates the paper figures; use BENCHFLAGS=-short for the
-# reduced scale.
+# bench regenerates the paper figures and refreshes the committed
+# benchmark snapshot; use BENCHFLAGS=-short for the reduced scale.
 bench:
 	$(GO) test -bench=. -benchmem $(BENCHFLAGS) ./...
+	$(GO) run ./cmd/benchguard -write -file BENCH_PR5.json

@@ -1,0 +1,146 @@
+// Command benchguard tracks the repo's benchmark numbers in a committed
+// JSON file (BENCH_PR5.json) and guards against silent regressions.
+//
+// Usage:
+//
+//	benchguard -write [-file BENCH_PR5.json] [-seed N]
+//	benchguard -check [-file BENCH_PR5.json] [-seed N] [-tol 1.0]
+//
+// -write measures the quick-scale benchmarks — virtual IOR and BTIO
+// end-to-end times plus the Analysis Phase wall-clock — and rewrites the
+// file. -check re-measures and compares against the committed numbers:
+// the virtual times are deterministic, so any drift beyond their small
+// tolerance means simulated behavior changed; the wall-clock is
+// machine-dependent and only flags large slowdowns. -tol scales every
+// tolerance. Exit code 1 on any violation (make verify treats it as a
+// non-fatal warning).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"harl/internal/experiments"
+)
+
+// metric is one tracked number with its relative tolerance.
+type metric struct {
+	Value float64 `json:"value"`
+	// Tolerance is the allowed relative deviation. Virtual-time metrics
+	// flag deviation in either direction (determinism guard); wall-clock
+	// metrics only flag slowdowns.
+	Tolerance float64 `json:"tolerance"`
+	// WallClock marks machine-dependent metrics.
+	WallClock bool `json:"wall_clock,omitempty"`
+}
+
+// file is the committed benchmark snapshot.
+type file struct {
+	Schema  string            `json:"schema"`
+	Scale   string            `json:"scale"`
+	Seed    int64             `json:"seed"`
+	Metrics map[string]metric `json:"metrics"`
+}
+
+const schema = "harl-bench v1"
+
+func measure(seed int64) (map[string]metric, error) {
+	o := experiments.QuickOptions()
+	o.Seed = seed
+	st, err := experiments.BenchSnapshot(o)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]metric{
+		"ior_end_seconds":       {Value: st.IOREndSeconds, Tolerance: 0.01},
+		"btio_end_seconds":      {Value: st.BTIOEndSeconds, Tolerance: 0.01},
+		"analysis_wall_seconds": {Value: st.AnalysisWallSeconds, Tolerance: 2.0, WallClock: true},
+	}, nil
+}
+
+func main() {
+	path := flag.String("file", "BENCH_PR5.json", "benchmark snapshot file")
+	write := flag.Bool("write", false, "measure and rewrite the snapshot")
+	check := flag.Bool("check", false, "measure and compare against the snapshot")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	tol := flag.Float64("tol", 1.0, "tolerance scale factor for -check")
+	flag.Parse()
+	if *write == *check {
+		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write or -check is required")
+		os.Exit(2)
+	}
+	if err := run(*path, *write, *seed, *tol); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, write bool, seed int64, tol float64) error {
+	got, err := measure(seed)
+	if err != nil {
+		return err
+	}
+	if write {
+		out := file{Schema: schema, Scale: "quick", Seed: seed, Metrics: got}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchguard: wrote %d metrics to %s\n", len(got), path)
+		return nil
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want file
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if want.Schema != schema {
+		return fmt.Errorf("%s: schema %q, want %q", path, want.Schema, schema)
+	}
+	if want.Seed != seed {
+		return fmt.Errorf("%s was written with seed %d, checking with %d", path, want.Seed, seed)
+	}
+	violations := 0
+	for name, w := range want.Metrics {
+		g, ok := got[name]
+		if !ok {
+			fmt.Printf("benchguard: %s: no longer measured\n", name)
+			violations++
+			continue
+		}
+		dev := math.Abs(g.Value-w.Value) / w.Value
+		limit := w.Tolerance * tol
+		ok = dev <= limit
+		if w.WallClock && g.Value <= w.Value {
+			// Wall-clock metrics never flag speedups.
+			ok = true
+		}
+		status := "ok"
+		if !ok {
+			status = "REGRESSION"
+			violations++
+		}
+		fmt.Printf("benchguard: %-22s %12.6f -> %12.6f (%+.2f%%, limit %.0f%%) %s\n",
+			name, w.Value, g.Value, 100*(g.Value-w.Value)/w.Value, 100*limit, status)
+	}
+	for name := range got {
+		if _, ok := want.Metrics[name]; !ok {
+			fmt.Printf("benchguard: %s: new metric, not in %s (re-run -write)\n", name, path)
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d metric(s) outside tolerance", violations)
+	}
+	fmt.Printf("benchguard: %d metrics within tolerance\n", len(want.Metrics))
+	return nil
+}

@@ -8,8 +8,8 @@
 //
 // Without -fig, every figure (1a, 1b, 7, 8, 9, 10, 11, 12), the three
 // ablation studies (ablation-division, ablation-model,
-// ablation-threshold) and the fault-injection figures (chaos, hedge) run
-// in order. -chaos-seed replays an exact fault schedule; the retry knobs
+// ablation-threshold), the fault-injection figures (chaos, hedge), the
+// trace breakdown and the drift-monitor scenario (drift) run in order. -chaos-seed replays an exact fault schedule; the retry knobs
 // override the client recovery policy the chaos figures use.
 package main
 
@@ -73,6 +73,7 @@ func main() {
 		{"chaos", experiments.FigChaos},
 		{"hedge", experiments.FigHedge},
 		{"breakdown", experiments.FigTraceBreakdown},
+		{"drift", experiments.FigDrift},
 	}
 
 	ran := 0

@@ -11,6 +11,8 @@
 //	harlctl chaos    [-chaos-seed N] [-max-retries N] [-timeout D] [-backoff D] [-hedge-after D]
 //	harlctl trace    [-out trace.json] [-metrics-out metrics.txt] [-seed N] [-quick]
 //	harlctl metrics  [-seed N] [-quick]
+//	harlctl monitor  [-seed N] [-quick] [-shift=false]
+//	harlctl health   [-seed N] [-quick] [-shift=false]
 //
 // optimize calibrates the cost model against the default simulated device
 // profiles (the stand-in for probing one real server of each class);
@@ -25,6 +27,12 @@
 // network → disk on the virtual timeline. metrics runs the same workload
 // and dumps the metrics registry as text. Both are deterministic: the
 // same seed always produces byte-identical output.
+// monitor runs the drift scenario — a two-region workload whose second
+// region switches request size mid-run (suppress with -shift=false) —
+// with the online region-workload monitor attached, and prints its
+// layout-health report: per-region drift scores, staleness verdicts and
+// replan advice. health is the scriptable variant: one line and exit
+// code 0 (on plan) or 1 (some region stale).
 package main
 
 import (
@@ -64,6 +72,10 @@ func main() {
 		err = cmdTrace(args)
 	case "metrics":
 		err = cmdMetrics(args)
+	case "monitor":
+		err = cmdMonitor(args)
+	case "health":
+		err = cmdHealth(args)
 	default:
 		usage()
 	}
@@ -74,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos|trace|metrics} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos|trace|metrics|monitor|health} [flags]")
 	os.Exit(2)
 }
 
@@ -336,6 +348,57 @@ func cmdMetrics(args []string) error {
 		return err
 	}
 	return run.WriteMetrics(os.Stdout)
+}
+
+// monitorRun executes the drift scenario with the online monitor
+// attached; shift selects drifting vs plan-faithful traffic.
+func monitorRun(fs *flag.FlagSet, args []string) (*experiments.DriftRun, error) {
+	seed := fs.Int64("seed", 1, "simulation seed")
+	quick := fs.Bool("quick", false, "run at reduced scale")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	shift := fs.Bool("shift", true, "shift the workload mid-run (false = plan-faithful control)")
+	fs.Parse(args)
+	return experiments.RunDrift(traceOptions(*seed, *quick, *parallel), *shift)
+}
+
+// cmdMonitor runs the monitored drift scenario and prints the online
+// monitor's layout-health report: per-region drift state and replan
+// advice.
+func cmdMonitor(args []string) error {
+	run, err := monitorRun(flag.NewFlagSet("monitor", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	if err := run.Report.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if lat := run.DetectionLatency(); lat >= 0 {
+		fmt.Printf("shift at %v, detected %v later\n", run.ShiftAt, lat)
+	}
+	return nil
+}
+
+// cmdHealth is the scriptable variant: one status line, exit code 0 when
+// every region is still on plan and 1 when any region is stale.
+func cmdHealth(args []string) error {
+	run, err := monitorRun(flag.NewFlagSet("health", flag.ExitOnError), args)
+	if err != nil {
+		return err
+	}
+	stale := 0
+	for _, r := range run.Report.Regions {
+		if r.Stale {
+			stale++
+		}
+	}
+	if stale > 0 {
+		fmt.Printf("STALE: %d of %d regions drifted off plan (%d advice entries)\n",
+			stale, len(run.Report.Regions), len(run.Report.Advice))
+		os.Exit(1)
+	}
+	fmt.Printf("healthy: %d regions on plan across %d windows\n",
+		len(run.Report.Regions), run.Report.Windows)
+	return nil
 }
 
 func cmdShow(args []string) error {

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"time"
+
+	"harl/internal/btio"
+	"harl/internal/cluster"
+	"harl/internal/harl"
+	"harl/internal/mpiio"
+)
+
+// BenchStats are the repo's tracked benchmark numbers (see cmd/benchguard
+// and BENCH_PR5.json): the virtual end-to-end times of the quick IOR and
+// BTIO runs — deterministic, so any change means the simulation's
+// behavior changed — and the Analysis Phase's real wall-clock, which is
+// machine-dependent and only guarded loosely.
+type BenchStats struct {
+	// IOREndSeconds is the virtual finishing time of the uninstrumented
+	// HARL IOR baseline (the traceIOR workload).
+	IOREndSeconds float64
+	// BTIOEndSeconds is the virtual finishing time of a fixed-stripe BTIO
+	// run at this option set's class.
+	BTIOEndSeconds float64
+	// AnalysisWallSeconds is the real time the Analysis Phase took on the
+	// IOR trace.
+	AnalysisWallSeconds float64
+}
+
+// BenchSnapshot measures the tracked benchmark numbers at the given
+// scale. The virtual times are reproducible bit for bit from the options
+// alone; the analysis wall-clock varies with the host.
+func BenchSnapshot(o Options) (BenchStats, error) {
+	var st BenchStats
+
+	run, err := traceIOR(o, false)
+	if err != nil {
+		return st, err
+	}
+	st.IOREndSeconds = run.End.Sub(0).Seconds()
+
+	// Analysis wall-clock over the same trace the IOR pipeline analyzed.
+	params := run.Params
+	tr := run.Config.Trace()
+	t0 := time.Now()
+	if _, err := (harl.Planner{Params: params, ChunkSize: o.ChunkSize, Parallelism: o.Parallelism}).Analyze(tr); err != nil {
+		return st, err
+	}
+	st.AnalysisWallSeconds = time.Since(t0).Seconds()
+
+	// Fixed-stripe BTIO at this option set's class.
+	clusterCfg := cluster.Default()
+	clusterCfg.Seed = o.Seed
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return st, err
+	}
+	cfg := o.BTIOClass(4)
+	w := mpiio.NewWorld(tb.FS, cfg.Ranks, o.ranksPerNode(cfg.Ranks))
+	var f *mpiio.PlainFile
+	var createErr error
+	w.Run(func() {
+		w.CreatePlain("btio", fixedStriping(clusterCfg, harl.StripePair{H: 64 << 10, S: 64 << 10}),
+			func(file *mpiio.PlainFile, err error) { f, createErr = file, err })
+	})
+	if createErr != nil {
+		return st, createErr
+	}
+	if _, err := btio.Run(w, f, cfg); err != nil {
+		return st, err
+	}
+	st.BTIOEndSeconds = tb.Engine.Now().Sub(0).Seconds()
+	return st, nil
+}

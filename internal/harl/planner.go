@@ -49,12 +49,16 @@ type PlannedRegion struct {
 	WriteMix  float64 // fraction of region bytes written
 }
 
-// Plan is the Analysis Phase output: the regions, the RST they induce and
-// the CV threshold finally used.
+// Plan is the Analysis Phase output: the regions, the RST they induce,
+// the CV threshold finally used, and the workload fingerprint frozen for
+// online drift detection.
 type Plan struct {
 	Regions   []PlannedRegion
 	RST       RST
 	Threshold float64
+	// Fingerprint summarizes the traced workload per merged RST entry —
+	// the assumptions the online monitor checks the live workload against.
+	Fingerprint *PlanFingerprint
 }
 
 // Analyze runs region division (Algorithm 1 with adaptive threshold) and
@@ -151,6 +155,9 @@ func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
 	if err := plan.RST.Validate(); err != nil {
 		return nil, fmt.Errorf("harl: produced invalid RST: %w", err)
 	}
+	// The fingerprint aggregates per-region request groups across the
+	// merge, so it aligns with the RST the placing phase actually uses.
+	plan.Fingerprint = plan.fingerprint(groups)
 	return plan, nil
 }
 

@@ -204,12 +204,34 @@ func (m *Migrator) biggestFileOn(server int) string {
 // a retrying client policy (pfs.FS.ClientPolicy) a migration spanning a
 // short outage instead rides it out and completes after recovery.
 func (m *Migrator) Restripe(name string, done func(moved int64, err error)) {
+	m.RestripeWith(name, m.policy.Relayout, done)
+}
+
+// RelayoutTo adapts a fixed target layout to the Relayout function shape,
+// for callers — like the monitor's replan advisor — that already know the
+// destination striping rather than deriving it from the current one.
+func RelayoutTo(target layout.Mapper) func(layout.Mapper) (layout.Mapper, error) {
+	return func(layout.Mapper) (layout.Mapper, error) {
+		if target == nil {
+			return nil, fmt.Errorf("migrate: nil target layout")
+		}
+		return target, nil
+	}
+}
+
+// RestripeWith is Restripe with an explicit relayout function, so a
+// one-off migration (e.g. acting on monitor advice via RelayoutTo) can
+// bypass the policy default without mutating the policy.
+func (m *Migrator) RestripeWith(name string, relayout func(layout.Mapper) (layout.Mapper, error), done func(moved int64, err error)) {
+	if relayout == nil {
+		relayout = m.policy.Relayout
+	}
 	m.client.Open(name, func(f *pfs.File, err error) {
 		if err != nil {
 			done(0, err)
 			return
 		}
-		target, err := m.policy.Relayout(f.Meta().Layout)
+		target, err := relayout(f.Meta().Layout)
 		if err != nil {
 			done(0, err)
 			return

@@ -149,6 +149,69 @@ func TestRestripePreservesData(t *testing.T) {
 	}
 }
 
+func TestRestripeWithExplicitTarget(t *testing.T) {
+	tb := smallSSDbed(t, 1<<30)
+	c := tb.FS.NewClient("app")
+	st := layout.Striping{M: 2, N: 2, H: 8 << 10, S: 64 << 10}
+	payload := make([]byte, 2<<20)
+	rand.New(rand.NewSource(7)).Read(payload)
+	tb.Engine.Schedule(0, func() {
+		c.Create("data", st, func(f *pfs.File, err error) {
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			f.WriteAt(payload, 0, func(error) {})
+		})
+	})
+	tb.Engine.Run()
+
+	m, err := New(tb.FS, Policy{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restripe to an exact advisor-style target, not the policy default.
+	target := layout.Striping{M: 2, N: 2, H: 64 << 10, S: 4 << 10}
+	var restripeErr error
+	tb.Engine.Schedule(0, func() {
+		m.RestripeWith("data", RelayoutTo(target), func(_ int64, err error) { restripeErr = err })
+	})
+	tb.Engine.Run()
+	if restripeErr != nil {
+		t.Fatalf("restripe: %v", restripeErr)
+	}
+
+	var meta pfs.FileMeta
+	var got []byte
+	tb.Engine.Schedule(0, func() {
+		c.Open("data", func(f *pfs.File, err error) {
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			meta = f.Meta()
+			f.ReadAt(0, int64(len(payload)), func(data []byte, _ error) { got = data })
+		})
+	})
+	tb.Engine.Run()
+	if meta.Layout.(layout.Striping) != target {
+		t.Fatalf("restriped to %v, want %v", meta.Layout, target)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("restripe corrupted data")
+	}
+
+	// A nil target fails cleanly without touching the file.
+	var nilErr error
+	tb.Engine.Schedule(0, func() {
+		m.RestripeWith("data", RelayoutTo(nil), func(_ int64, err error) { nilErr = err })
+	})
+	tb.Engine.Run()
+	if nilErr == nil {
+		t.Fatal("nil target accepted")
+	}
+}
+
 func TestRestripeMissingFile(t *testing.T) {
 	tb := smallSSDbed(t, 1<<30)
 	m, err := New(tb.FS, Policy{HighWatermark: 0.9, LowWatermark: 0.5, CheckInterval: sim.Second})

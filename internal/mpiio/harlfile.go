@@ -5,8 +5,10 @@ import (
 	"sort"
 	"strconv"
 
+	"harl/internal/device"
 	"harl/internal/harl"
 	"harl/internal/layout"
+	"harl/internal/monitor"
 	"harl/internal/obs"
 	"harl/internal/pfs"
 	"harl/internal/sim"
@@ -31,7 +33,28 @@ type HARLFile struct {
 	// file system carries a metrics registry; nil slices otherwise.
 	mRegionWrite []*obs.Counter
 	mRegionRead  []*obs.Counter
+
+	// mon, when attached, observes every region-local span the file
+	// issues — the exact traffic the registry counters above count, so
+	// the monitor's totals always match them. Nil-safe.
+	mon *monitor.Monitor
 }
+
+// AttachMonitor feeds the file's per-region traffic into an online
+// workload monitor. The monitor's region count must match the file's;
+// nil detaches. Attaching never perturbs the simulation: the monitor is
+// a passive observer of the virtual clock.
+func (f *HARLFile) AttachMonitor(m *monitor.Monitor) error {
+	if m != nil && m.Regions() != len(f.bounds) {
+		return fmt.Errorf("mpiio: monitor covers %d regions, file %q has %d",
+			m.Regions(), f.name, len(f.bounds))
+	}
+	f.mon = m
+	return nil
+}
+
+// Monitor returns the attached workload monitor (nil when detached).
+func (f *HARLFile) Monitor() *monitor.Monitor { return f.mon }
 
 // regionBound is one region's logical range.
 type regionBound struct {
@@ -153,6 +176,7 @@ func (f *HARLFile) WriteAt(rank int, off int64, data []byte, done func(error)) {
 		if f.mRegionWrite != nil {
 			f.mRegionWrite[sp.region].Add(sp.length)
 		}
+		f.mon.Observe(device.Write, sp.region, sp.local, sp.length)
 		f.handles[sp.region][rank].WriteAtSpan(mpiSpan, piece, sp.local, func(err error) {
 			remaining.Done(err)
 		})
@@ -186,6 +210,7 @@ func (f *HARLFile) ReadAt(rank int, off, size int64, done func([]byte, error)) {
 		if f.mRegionRead != nil {
 			f.mRegionRead[sp.region].Add(sp.length)
 		}
+		f.mon.Observe(device.Read, sp.region, sp.local, sp.length)
 		f.handles[sp.region][rank].ReadAtSpan(mpiSpan, sp.local, sp.length, func(data []byte, err error) {
 			if err == nil {
 				copy(out[at:at+sp.length], data)

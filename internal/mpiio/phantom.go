@@ -47,6 +47,7 @@ func (f *HARLFile) WriteZeros(rank int, off, size int64, done func(error)) {
 		if f.mRegionWrite != nil {
 			f.mRegionWrite[sp.region].Add(sp.length)
 		}
+		f.mon.Observe(device.Write, sp.region, sp.local, sp.length)
 		f.handles[sp.region][rank].WriteZerosSpan(mpiSpan, sp.local, sp.length, func(err error) {
 			remaining.Done(err)
 		})
@@ -71,6 +72,7 @@ func (f *HARLFile) ReadDiscard(rank int, off, size int64, done func(error)) {
 		if f.mRegionRead != nil {
 			f.mRegionRead[sp.region].Add(sp.length)
 		}
+		f.mon.Observe(device.Read, sp.region, sp.local, sp.length)
 		f.handles[sp.region][rank].ReadDiscardSpan(mpiSpan, sp.local, sp.length, func(err error) {
 			remaining.Done(err)
 		})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"harl/internal/sim"
 )
@@ -58,6 +59,16 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 
 // writeEvent emits one span or instant as a trace_event record.
 func writeEvent(bw *errWriter, s Span, tid int) {
+	if s.Ctr {
+		// Counter events carry the sampled value in args keyed by the
+		// counter name; the viewer plots them as a stepped series. The
+		// value renders via FormatFloat('g', -1) — the shortest exact
+		// representation — so exports stay byte-deterministic.
+		bw.printf(`{"ph":"C","pid":1,"tid":%d,"ts":%s,"name":%s,"args":{%s:%s}}`,
+			tid, micros(s.Start), jsonString(s.Name), jsonString(s.Name),
+			strconv.FormatFloat(s.Value, 'g', -1, 64))
+		return
+	}
 	if s.Inst {
 		bw.printf(`{"ph":"i","pid":1,"tid":%d,"s":"t","ts":%s,"name":%s,"args":{`,
 			tid, micros(s.Start), jsonString(s.Name))

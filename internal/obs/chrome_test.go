@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"harl/internal/sim"
+)
+
+// An enabled tracer that recorded nothing must still export a valid,
+// empty trace document.
+func TestChromeZeroSpans(t *testing.T) {
+	tr := NewTracer(sim.NewEngine(1))
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n"
+	if b.String() != want {
+		t.Errorf("empty export = %q, want %q", b.String(), want)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Error("empty export is not valid JSON")
+	}
+}
+
+// A span without tags must close its args object cleanly.
+func TestChromeSpanWithoutTags(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := NewTracer(e)
+	id := tr.Begin("c0", "op", 0)
+	tr.End(id)
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `"args":{"id":1}`) {
+		t.Errorf("tagless span args malformed:\n%s", b.String())
+	}
+}
+
+// A track holding only instants still gets a thread_name metadata record
+// and a deterministic tid.
+func TestChromeInstantOnlyTrack(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := NewTracer(e)
+	tr.Instant("faults", "crash", 0, T("server", "h0"))
+	tr.Instant("faults", "recover", 0)
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", out)
+	}
+	for _, want := range []string{
+		`"name":"thread_name","args":{"name":"faults"}`,
+		`"ph":"i"`,
+		`"name":"crash"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("instant-only export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Counter samples export as ph:"C" events carrying the value in args,
+// with shortest-exact float rendering.
+func TestChromeCounterTrack(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := NewTracer(e)
+	tr.Counter("monitor", "drift.r0", 1500, 0.25)
+	tr.Counter("monitor", "drift.r0", 3000, 1.75)
+	tr.Counter("monitor", "stale.r0", 3000, 1)
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", out)
+	}
+	for _, want := range []string{
+		`"ph":"C"`,
+		`"name":"drift.r0","args":{"drift.r0":0.25}`,
+		`"ts":3.000,"name":"drift.r0","args":{"drift.r0":1.75}`,
+		`"args":{"stale.r0":1}`,
+		`"name":"thread_name","args":{"name":"monitor"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("counter export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Mixed traces (spans, instants, counters, an unfinished span) must be
+// byte-identical across identical recordings — the golden determinism
+// contract the make trace target enforces end to end.
+func TestChromeExportDeterministic(t *testing.T) {
+	record := func() *bytes.Buffer {
+		e := sim.NewEngine(7)
+		tr := NewTracer(e)
+		id := tr.Begin("c0", "mpi.write", 0, TInt("bytes", 4096))
+		tr.Counter("monitor", "drift.r0", 0, 0.5)
+		tr.Emit("h0", "disk.write", id, 10, 20, T("tier", "hdd"))
+		tr.End(id, T("status", "ok"))
+		tr.Begin("c1", "mpi.read", 0) // left open: exporter clamps it
+		var b bytes.Buffer
+		if err := tr.WriteChrome(&b); err != nil {
+			t.Fatal(err)
+		}
+		return &b
+	}
+	a, b := record(), record()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("identical recordings exported different bytes:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a.String(), `"unfinished":"1"`) {
+		t.Error("open span not marked unfinished")
+	}
+}
+
+// Counter on a nil tracer is a no-op returning span ID 0.
+func TestNilTracerCounter(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Counter("monitor", "drift", 0, 1); id != 0 {
+		t.Errorf("nil tracer Counter returned id %d", id)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Counter("monitor", "drift", 0, 1)
+	}); n != 0 {
+		t.Errorf("nil tracer Counter allocates %v per call", n)
+	}
+}

@@ -67,6 +67,8 @@ type Span struct {
 	Start  sim.Time
 	End    sim.Time // openEnd (-1) while the span is open
 	Inst   bool     // instant annotation, not an interval
+	Ctr    bool     // counter sample: Value at Start on a counter track
+	Value  float64  // counter sample value (Ctr only)
 	Tags   []Tag
 }
 
@@ -179,6 +181,26 @@ func (t *Tracer) Emit(track, name string, parent SpanID, start, end sim.Time, ta
 		Start:  start,
 		End:    end,
 		Tags:   tags,
+	})
+}
+
+// Counter records one sample of a named time-series value at an explicit
+// virtual time — drift scores, staleness flags, queue depths. Chrome's
+// trace viewer renders counter samples on the same name as a stepped
+// graph alongside the span tracks. The timestamp is a parameter (not
+// engine.Now()) because counters are usually sampled at window
+// boundaries that precede the event that closed the window.
+func (t *Tracer) Counter(track, name string, at sim.Time, value float64) SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.alloc(Span{
+		Track: track,
+		Name:  name,
+		Start: at,
+		End:   at,
+		Ctr:   true,
+		Value: value,
 	})
 }
 

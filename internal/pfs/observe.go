@@ -12,6 +12,19 @@ import (
 // instrumented run executes the exact event sequence of a bare one. Left
 // uninstrumented, every hook below degenerates to nil-safe no-ops.
 
+// TierObserver receives every completed disk pass, attributed to the
+// serving tier. Implementations must honor the same passive-observer
+// contract as the tracer: no event scheduling, no engine RNG draws.
+// monitor.Monitor implements it.
+type TierObserver interface {
+	ObserveTier(role device.Kind, op device.Op, bytes int64)
+}
+
+// SetTierObserver attaches (or, with nil, detaches) a per-tier traffic
+// observer. Independent of Instrument, so a monitor can run without
+// tracing.
+func (fs *FS) SetTierObserver(o TierObserver) { fs.tierObs = o }
+
 // tierName renders a device kind as a metric/tag label.
 func tierName(k device.Kind) string {
 	if k == device.HDD {
@@ -92,6 +105,9 @@ func (s *Server) observeDisk(op device.Op, parent obs.SpanID, submit, start, end
 	s.mOps.Inc()
 	s.mServiceNs.Add(int64(end.Sub(start)))
 	s.mWaitNs.Add(int64(start.Sub(submit)))
+	if s.fs.tierObs != nil {
+		s.fs.tierObs.ObserveTier(s.Role(), op, size)
+	}
 	tr := s.fs.tracer
 	if tr == nil {
 		return

@@ -151,9 +151,11 @@ type FS struct {
 	net     *netsim.Network
 	mdsNode *netsim.Node
 
-	// Observability hooks (observe.go); both nil until Instrument.
+	// Observability hooks (observe.go); all nil until Instrument /
+	// SetTierObserver.
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+	tierObs TierObserver
 
 	servers []*Server
 	files   map[string]*FileMeta

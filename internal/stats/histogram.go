@@ -61,6 +61,40 @@ func (h *Histogram) Add(x float64) {
 // Total returns the number of samples recorded.
 func (h *Histogram) Total() int64 { return h.total }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the binned
+// counts, interpolating linearly within the covering bin. The second
+// return is false — and the estimate 0 — on an empty histogram: the
+// monitor's sliding windows start empty every epoch, and an empty window
+// must read as "no data", never NaN. NaN samples are excluded (they were
+// never binned). Out-of-range q panics.
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range", q))
+	}
+	if h.total == 0 {
+		return 0, false
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	target := q * float64(h.total)
+	var cum int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + c
+		if float64(next) >= target {
+			// Fraction of this bin's samples below the target rank.
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return h.Lo + (float64(i)+frac)*width, true
+		}
+		cum = next
+	}
+	return h.Hi, true
+}
+
 // String renders an ASCII bar chart, one bin per line.
 func (h *Histogram) String() string {
 	var b strings.Builder

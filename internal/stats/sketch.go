@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QuantileSketch is a mergeable quantile sketch over positive values,
+// in the spirit of DDSketch: values collapse into logarithmic buckets
+// chosen so every quantile estimate carries a bounded relative error
+// alpha. Two sketches built with the same alpha merge by bucket-count
+// addition, which is what lets the workload monitor keep one cumulative
+// sketch per region while folding in per-window sketches as they close.
+//
+// Only strictly positive finite samples land in buckets (request sizes
+// and offsets are); zero, negative and non-finite samples are counted in
+// Invalid and excluded from quantiles, mirroring Histogram's NaN policy.
+//
+// The sketch is deterministic: bucket indices are pure arithmetic and
+// quantile queries walk the buckets in sorted key order, so equal sample
+// streams always produce equal answers.
+type QuantileSketch struct {
+	alpha   float64
+	gamma   float64
+	invLogG float64
+	counts  map[int]int64
+	total   int64
+	// Invalid counts rejected samples (<= 0, NaN, ±Inf).
+	Invalid int64
+}
+
+// DefaultSketchAlpha is the relative accuracy monitors use: quantile
+// estimates are within 1% of a true sample value.
+const DefaultSketchAlpha = 0.01
+
+// NewQuantileSketch creates an empty sketch with relative accuracy
+// alpha in (0, 1).
+func NewQuantileSketch(alpha float64) *QuantileSketch {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: sketch alpha %v outside (0,1)", alpha))
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &QuantileSketch{
+		alpha:   alpha,
+		gamma:   gamma,
+		invLogG: 1 / math.Log(gamma),
+		counts:  make(map[int]int64),
+	}
+}
+
+// Alpha returns the sketch's relative accuracy.
+func (s *QuantileSketch) Alpha() float64 { return s.alpha }
+
+// Count returns the number of bucketed samples.
+func (s *QuantileSketch) Count() int64 { return s.total }
+
+// Add records one sample.
+func (s *QuantileSketch) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+		s.Invalid++
+		return
+	}
+	s.counts[int(math.Ceil(math.Log(x)*s.invLogG))]++
+	s.total++
+}
+
+// Merge folds other's buckets into s. Both sketches must share the same
+// alpha — merging differently-sized buckets is always a bug.
+func (s *QuantileSketch) Merge(other *QuantileSketch) {
+	if other == nil {
+		return
+	}
+	if other.alpha != s.alpha {
+		panic(fmt.Sprintf("stats: merging sketches with alphas %v and %v", s.alpha, other.alpha))
+	}
+	for k, c := range other.counts {
+		s.counts[k] += c
+	}
+	s.total += other.total
+	s.Invalid += other.Invalid
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1). ok is false on an
+// empty sketch; out-of-range q panics.
+func (s *QuantileSketch) Quantile(q float64) (float64, bool) {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range", q))
+	}
+	if s.total == 0 {
+		return 0, false
+	}
+	keys := make([]int, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	rank := int64(q * float64(s.total-1))
+	var cum int64
+	for _, k := range keys {
+		cum += s.counts[k]
+		if cum > rank {
+			// Midpoint of bucket (γ^(k-1), γ^k]: relative error <= alpha.
+			return 2 * math.Pow(s.gamma, float64(k)) / (1 + s.gamma), true
+		}
+	}
+	// Unreachable: cum reaches total > rank.
+	return 0, false
+}
+
+// Deciles returns the nine interior deciles (q10..q90); ok is false on
+// an empty sketch.
+func (s *QuantileSketch) Deciles() ([9]float64, bool) {
+	var d [9]float64
+	if s.total == 0 {
+		return d, false
+	}
+	for i := range d {
+		d[i], _ = s.Quantile(float64(i+1) / 10)
+	}
+	return d, true
+}
+
+// Reset empties the sketch, keeping its accuracy.
+func (s *QuantileSketch) Reset() {
+	for k := range s.counts {
+		delete(s.counts, k)
+	}
+	s.total = 0
+	s.Invalid = 0
+}
+
+// Reservoir keeps a uniform sample of at most K items from a stream
+// (Vitter's Algorithm R). Randomness comes from a private xorshift64*
+// generator seeded at construction — never the simulation engine's RNG —
+// so an attached monitor perturbs nothing and the kept sample is a pure
+// function of (seed, stream).
+type Reservoir[T any] struct {
+	k     int
+	seen  int64
+	state uint64
+	items []T
+}
+
+// NewReservoir creates a reservoir of capacity k. Seed 0 is remapped to
+// a fixed non-zero constant (xorshift has no zero state).
+func NewReservoir[T any](k int, seed uint64) *Reservoir[T] {
+	if k <= 0 {
+		panic(fmt.Sprintf("stats: reservoir capacity %d", k))
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Reservoir[T]{k: k, state: seed}
+}
+
+// next advances the xorshift64* state.
+func (r *Reservoir[T]) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Add offers one item to the reservoir.
+func (r *Reservoir[T]) Add(x T) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, x)
+		return
+	}
+	if j := r.next() % uint64(r.seen); j < uint64(r.k) {
+		r.items[j] = x
+	}
+}
+
+// Seen returns how many items were offered.
+func (r *Reservoir[T]) Seen() int64 { return r.seen }
+
+// Items exposes the kept sample; the slice is the reservoir's backing
+// store and must not be modified.
+func (r *Reservoir[T]) Items() []T { return r.items }
+
+// Reset empties the reservoir without reseeding, so a rolling window
+// reuses one allocation and stays deterministic across resets.
+func (r *Reservoir[T]) Reset() {
+	r.items = r.items[:0]
+	r.seen = 0
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSketchEmpty(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchAlpha)
+	if v, ok := s.Quantile(0.5); ok || v != 0 {
+		t.Errorf("empty sketch quantile = (%v, %v), want (0, false)", v, ok)
+	}
+	if _, ok := s.Deciles(); ok {
+		t.Error("empty sketch reported deciles")
+	}
+	if s.Count() != 0 {
+		t.Errorf("empty sketch count %d", s.Count())
+	}
+}
+
+func TestSketchRelativeAccuracy(t *testing.T) {
+	const alpha = 0.01
+	s := NewQuantileSketch(alpha)
+	// Sizes spanning three decades, heavily repeated like a real
+	// request-size stream.
+	var all []float64
+	for i := 0; i < 1000; i++ {
+		x := float64(4096 * (1 + i%64))
+		s.Add(x)
+		all = append(all, x)
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		got, ok := s.Quantile(q)
+		if !ok {
+			t.Fatalf("quantile %v not ok", q)
+		}
+		want := Percentile(all, q*100)
+		if rel := math.Abs(got-want) / want; rel > 2*alpha {
+			t.Errorf("quantile %v = %v, want %v (rel err %v > %v)", q, got, want, rel, 2*alpha)
+		}
+	}
+}
+
+func TestSketchInvalidSamples(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchAlpha)
+	for _, x := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s.Add(x)
+	}
+	if s.Count() != 0 || s.Invalid != 5 {
+		t.Errorf("count %d invalid %d, want 0 and 5", s.Count(), s.Invalid)
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	a := NewQuantileSketch(DefaultSketchAlpha)
+	b := NewQuantileSketch(DefaultSketchAlpha)
+	whole := NewQuantileSketch(DefaultSketchAlpha)
+	for i := 1; i <= 100; i++ {
+		x := float64(i * 1024)
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), whole.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got, _ := a.Quantile(q)
+		want, _ := whole.Quantile(q)
+		if got != want {
+			t.Errorf("merged quantile %v = %v, direct %v", q, got, want)
+		}
+	}
+}
+
+func TestSketchMergeAlphaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging sketches with different alphas did not panic")
+		}
+	}()
+	NewQuantileSketch(0.01).Merge(NewQuantileSketch(0.02))
+}
+
+func TestSketchReset(t *testing.T) {
+	s := NewQuantileSketch(DefaultSketchAlpha)
+	s.Add(1)
+	s.Add(math.NaN())
+	s.Reset()
+	if s.Count() != 0 || s.Invalid != 0 {
+		t.Errorf("reset left count %d invalid %d", s.Count(), s.Invalid)
+	}
+	if _, ok := s.Quantile(0.5); ok {
+		t.Error("reset sketch still answers quantiles")
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	r := NewReservoir[int](8, 1)
+	for i := 0; i < 5; i++ {
+		r.Add(i)
+	}
+	if len(r.Items()) != 5 || r.Seen() != 5 {
+		t.Fatalf("kept %d of %d, want all 5", len(r.Items()), r.Seen())
+	}
+	for i, x := range r.Items() {
+		if x != i {
+			t.Errorf("item %d = %d, want %d (order preserved under capacity)", i, x, i)
+		}
+	}
+}
+
+func TestReservoirDeterministicAndBounded(t *testing.T) {
+	sample := func() []int {
+		r := NewReservoir[int](16, 42)
+		for i := 0; i < 10000; i++ {
+			r.Add(i)
+		}
+		return append([]int(nil), r.Items()...)
+	}
+	a, b := sample(), sample()
+	if len(a) != 16 {
+		t.Fatalf("kept %d items, want 16", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed reservoirs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// The sample must reach deep into the stream, not just its head.
+	var late int
+	for _, x := range a {
+		if x >= 5000 {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Error("reservoir kept no items from the second half of the stream")
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := NewReservoir[int](4, 7)
+	for i := 0; i < 100; i++ {
+		r.Add(i)
+	}
+	r.Reset()
+	if len(r.Items()) != 0 || r.Seen() != 0 {
+		t.Fatal("reset did not empty the reservoir")
+	}
+	r.Add(9)
+	if len(r.Items()) != 1 || r.Items()[0] != 9 {
+		t.Fatal("reservoir unusable after reset")
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	if v, ok := h.Quantile(0.5); ok || v != 0 {
+		t.Errorf("empty histogram quantile = (%v, %v), want (0, false)", v, ok)
+	}
+	// A histogram that saw only NaN samples is still empty.
+	h.Add(math.NaN())
+	if v, ok := h.Quantile(0.5); ok || v != 0 {
+		t.Errorf("NaN-only histogram quantile = (%v, %v), want (0, false)", v, ok)
+	}
+	if math.IsNaN(func() float64 { v, _ := h.Quantile(0.9); return v }()) {
+		t.Error("empty histogram quantile is NaN")
+	}
+}
+
+func TestHistogramQuantileEstimates(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.1, 10}, {0.9, 90}, {1, 100},
+	} {
+		got, ok := h.Quantile(tc.q)
+		if !ok {
+			t.Fatalf("quantile %v not ok", tc.q)
+		}
+		if math.Abs(got-tc.want) > 1.5 {
+			t.Errorf("quantile %v = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("quantile 1.5 did not panic")
+		}
+	}()
+	NewHistogram(0, 1, 2).Quantile(1.5)
+}
