@@ -5,6 +5,10 @@ GO ?= go
 # seed the failure printed.
 CHAOS_SEED ?= 1
 
+# BENCH_FILE is the snapshot `make bench` writes; benchcheck ignores it
+# and auto-discovers the newest committed BENCH_PR<N>.json instead.
+BENCH_FILE ?= BENCH_PR6.json
+
 .PHONY: verify build test race bench vet chaos trace monitor benchcheck
 
 # verify is the tier-1 gate: everything must pass before a commit lands.
@@ -18,7 +22,7 @@ verify:
 	$(MAKE) chaos
 	$(MAKE) trace
 	$(MAKE) monitor
-	@$(MAKE) benchcheck || echo "warning: benchmark drift (non-fatal); refresh BENCH_PR5.json with 'make bench' if intended"
+	@$(MAKE) benchcheck || echo "warning: benchmark drift (non-fatal); refresh $(BENCH_FILE) with 'make bench' if intended"
 
 # monitor runs the online-monitor suite under the race detector plus the
 # monitor-on/off differential proof: a monitored run must execute the
@@ -27,9 +31,10 @@ monitor:
 	$(GO) test -race ./internal/monitor ./internal/obs
 	$(GO) test -race -run 'DriftMonitorDifferential|MonitorMatchesRegistry|TracingDisabledDifferential' ./internal/experiments ./internal/mpiio
 
-# benchcheck compares fresh measurements against the committed snapshot.
+# benchcheck compares fresh measurements against the newest committed
+# snapshot (benchguard auto-discovers BENCH_PR<N>.json).
 benchcheck:
-	$(GO) run ./cmd/benchguard -check -file BENCH_PR5.json
+	$(GO) run ./cmd/benchguard -check
 
 # chaos runs the seeded fault-injection suite under the race detector:
 # integrity under chaos, determinism across Parallelism, hedged-read
@@ -66,4 +71,4 @@ race:
 # benchmark snapshot; use BENCHFLAGS=-short for the reduced scale.
 bench:
 	$(GO) test -bench=. -benchmem $(BENCHFLAGS) ./...
-	$(GO) run ./cmd/benchguard -write -file BENCH_PR5.json
+	$(GO) run ./cmd/benchguard -write -file $(BENCH_FILE)

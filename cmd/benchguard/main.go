@@ -1,15 +1,19 @@
-// Command benchguard tracks the repo's benchmark numbers in a committed
-// JSON file (BENCH_PR5.json) and guards against silent regressions.
+// Command benchguard tracks the repo's benchmark numbers in committed
+// JSON snapshots (BENCH_PR<N>.json) and guards against silent
+// regressions.
 //
 // Usage:
 //
-//	benchguard -write [-file BENCH_PR5.json] [-seed N]
-//	benchguard -check [-file BENCH_PR5.json] [-seed N] [-tol 1.0]
+//	benchguard -write -file BENCH_PR6.json [-seed N]
+//	benchguard -check [-file BENCH_PR6.json] [-seed N] [-tol 1.0]
 //
-// -write measures the quick-scale benchmarks — virtual IOR and BTIO
-// end-to-end times plus the Analysis Phase wall-clock — and rewrites the
-// file. -check re-measures and compares against the committed numbers:
-// the virtual times are deterministic, so any drift beyond their small
+// -write measures the quick-scale benchmarks — virtual IOR, BTIO and
+// drift end-to-end times plus the Analysis Phase wall-clock — and
+// rewrites the file (-file is required, so a new PR's snapshot is named
+// deliberately). -check re-measures and compares against the committed
+// numbers; with no -file it auto-discovers the newest BENCH_PR<N>.json
+// in the working directory, so the Makefile never hardcodes a PR number.
+// The virtual times are deterministic, so any drift beyond their small
 // tolerance means simulated behavior changed; the wall-clock is
 // machine-dependent and only flags large slowdowns. -tol scales every
 // tolerance. Exit code 1 on any violation (make verify treats it as a
@@ -22,6 +26,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"harl/internal/experiments"
 )
@@ -57,12 +64,38 @@ func measure(seed int64) (map[string]metric, error) {
 	return map[string]metric{
 		"ior_end_seconds":       {Value: st.IOREndSeconds, Tolerance: 0.01},
 		"btio_end_seconds":      {Value: st.BTIOEndSeconds, Tolerance: 0.01},
+		"drift_end_seconds":     {Value: st.DriftEndSeconds, Tolerance: 0.01},
 		"analysis_wall_seconds": {Value: st.AnalysisWallSeconds, Tolerance: 2.0, WallClock: true},
 	}, nil
 }
 
+// newestSnapshot finds the BENCH_PR<N>.json with the highest N in dir,
+// so -check follows the stacked-PR sequence without Makefile edits.
+func newestSnapshot(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_PR*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		name := filepath.Base(m)
+		num := strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_PR"), ".json")
+		n, err := strconv.Atoi(num)
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_PR<N>.json snapshot in %s", dir)
+	}
+	return best, nil
+}
+
 func main() {
-	path := flag.String("file", "BENCH_PR5.json", "benchmark snapshot file")
+	path := flag.String("file", "", "benchmark snapshot file (default for -check: newest BENCH_PR<N>.json here)")
 	write := flag.Bool("write", false, "measure and rewrite the snapshot")
 	check := flag.Bool("check", false, "measure and compare against the snapshot")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -71,6 +104,19 @@ func main() {
 	if *write == *check {
 		fmt.Fprintln(os.Stderr, "benchguard: exactly one of -write or -check is required")
 		os.Exit(2)
+	}
+	if *path == "" {
+		if *write {
+			fmt.Fprintln(os.Stderr, "benchguard: -write requires an explicit -file (name the PR's snapshot deliberately)")
+			os.Exit(2)
+		}
+		p, err := newestSnapshot(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		*path = p
+		fmt.Printf("benchguard: checking against %s\n", p)
 	}
 	if err := run(*path, *write, *seed, *tol); err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNewestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR5.json", "BENCH_PR6.json", "BENCH_PR12.json", "BENCH_PRx.json", "notes.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := newestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_PR12.json"); got != want {
+		t.Errorf("newestSnapshot = %q, want %q", got, want)
+	}
+	if _, err := newestSnapshot(t.TempDir()); err == nil {
+		t.Error("expected error for directory with no snapshots")
+	}
+}

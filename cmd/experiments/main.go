@@ -9,8 +9,10 @@
 // Without -fig, every figure (1a, 1b, 7, 8, 9, 10, 11, 12), the three
 // ablation studies (ablation-division, ablation-model,
 // ablation-threshold), the fault-injection figures (chaos, hedge), the
-// trace breakdown and the drift-monitor scenario (drift) run in order. -chaos-seed replays an exact fault schedule; the retry knobs
-// override the client recovery policy the chaos figures use.
+// trace breakdown, the drift-monitor scenario (drift) and the
+// critical-path/what-if validation (critpath) run in order. -chaos-seed
+// replays an exact fault schedule; the retry knobs override the client
+// recovery policy the chaos figures use.
 package main
 
 import (
@@ -74,6 +76,7 @@ func main() {
 		{"hedge", experiments.FigHedge},
 		{"breakdown", experiments.FigTraceBreakdown},
 		{"drift", experiments.FigDrift},
+		{"critpath", experiments.FigCritPath},
 	}
 
 	ran := 0

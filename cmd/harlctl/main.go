@@ -13,6 +13,8 @@
 //	harlctl metrics  [-seed N] [-quick]
 //	harlctl monitor  [-seed N] [-quick] [-shift=false]
 //	harlctl health   [-seed N] [-quick] [-shift=false]
+//	harlctl critpath [-seed N] [-quick] [-out highlighted.json]
+//	harlctl whatif   [-seed N] [-quick] [-factor 2] [-drift]
 //
 // optimize calibrates the cost model against the default simulated device
 // profiles (the stand-in for probing one real server of each class);
@@ -33,10 +35,20 @@
 // layout-health report: per-region drift scores, staleness verdicts and
 // replan advice. health is the scriptable variant: one line and exit
 // code 0 (on plan) or 1 (some region stale).
+// critpath runs the instrumented IOR baseline, extracts the critical
+// path from the trace, and prints the blame table — virtual time on the
+// blocking chain by kind, server, tier, region and phase; -out also
+// exports the trace with the path as a highlight track. whatif replays
+// the identical seeded scenario once per counterfactual (each tier,
+// the interconnect, the most-blamed server sped up by -factor) and
+// prints the measured makespan deltas, ranked; -drift profiles the
+// drift scenario's post-shift window instead, including the advisor's
+// restripe recommendation as a candidate.
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -52,32 +64,16 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	cmd, args := "", []string(nil)
+	if len(os.Args) >= 2 {
+		cmd, args = os.Args[1], os.Args[2:]
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "summary":
-		err = cmdSummary(args)
-	case "divide":
-		err = cmdDivide(args)
-	case "optimize":
-		err = cmdOptimize(args)
-	case "show":
-		err = cmdShow(args)
-	case "chaos":
-		err = cmdChaos(args)
-	case "trace":
-		err = cmdTrace(args)
-	case "metrics":
-		err = cmdMetrics(args)
-	case "monitor":
-		err = cmdMonitor(args)
-	case "health":
-		err = cmdHealth(args)
-	default:
-		usage()
+	err := dispatch(cmd, args)
+	var code exitCode
+	if errors.As(err, &code) {
+		// The command already printed its verdict; the code is the
+		// scriptable result (health's stale=1, usage=2).
+		os.Exit(int(code))
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "harlctl %s: %v\n", cmd, err)
@@ -85,9 +81,44 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos|trace|metrics|monitor|health} [flags]")
-	os.Exit(2)
+// exitCode is an error carrying a bare process exit status whose
+// explanation is already on the output.
+type exitCode int
+
+func (e exitCode) Error() string { return fmt.Sprintf("exit status %d", int(e)) }
+
+// dispatch routes one subcommand; tests drive it directly.
+func dispatch(cmd string, args []string) error {
+	switch cmd {
+	case "summary":
+		return cmdSummary(args)
+	case "divide":
+		return cmdDivide(args)
+	case "optimize":
+		return cmdOptimize(args)
+	case "show":
+		return cmdShow(args)
+	case "chaos":
+		return cmdChaos(args)
+	case "trace":
+		return cmdTrace(args)
+	case "metrics":
+		return cmdMetrics(args)
+	case "monitor":
+		return cmdMonitor(args)
+	case "health":
+		return cmdHealth(args)
+	case "critpath":
+		return cmdCritPath(args)
+	case "whatif":
+		return cmdWhatIf(args)
+	}
+	return usage()
+}
+
+func usage() error {
+	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos|trace|metrics|monitor|health|critpath|whatif} [flags]")
+	return exitCode(2)
 }
 
 func loadTrace(path string) (*trace.Trace, error) {
@@ -394,11 +425,81 @@ func cmdHealth(args []string) error {
 	if stale > 0 {
 		fmt.Printf("STALE: %d of %d regions drifted off plan (%d advice entries)\n",
 			stale, len(run.Report.Regions), len(run.Report.Advice))
-		os.Exit(1)
+		return exitCode(1)
 	}
 	fmt.Printf("healthy: %d regions on plan across %d windows\n",
 		len(run.Report.Regions), run.Report.Windows)
 	return nil
+}
+
+// cmdCritPath extracts the critical path from the instrumented IOR
+// baseline and prints the blame table; -out exports the trace with the
+// path as a highlight track for Perfetto.
+func cmdCritPath(args []string) error {
+	fs := flag.NewFlagSet("critpath", flag.ExitOnError)
+	out := fs.String("out", "", "also export the trace with the critical-path highlight track to this file")
+	seed := fs.Int64("seed", 1, "simulation seed (same seed, identical path)")
+	quick := fs.Bool("quick", false, "run at reduced scale")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	run, err := experiments.TraceIOR(traceOptions(*seed, *quick, *parallel))
+	if err != nil {
+		return err
+	}
+	cp, err := run.CritPath()
+	if err != nil {
+		return err
+	}
+	if err := cp.Blame.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := run.Tracer.WriteChromeWith(f, cp.HighlightSpans()); err != nil {
+			return err
+		}
+		fmt.Printf("highlighted trace written to %s — open at https://ui.perfetto.dev\n", *out)
+	}
+	return nil
+}
+
+// cmdWhatIf measures ranked counterfactuals by exact replay: the IOR
+// baseline's makespan by default, the drift scenario's post-shift
+// window (with the advisor's restripe as a candidate) under -drift.
+func cmdWhatIf(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
+	factor := fs.Float64("factor", 2, "counterfactual speedup factor (> 1)")
+	drift := fs.Bool("drift", false, "profile the drift scenario's post-shift window instead of IOR")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	quick := fs.Bool("quick", false, "run at reduced scale")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	opts := traceOptions(*seed, *quick, *parallel)
+	if *drift {
+		dw, err := experiments.RunDriftWhatIf(opts, *factor)
+		if err != nil {
+			return err
+		}
+		if err := dw.Report.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		return dw.Run.Report.WriteText(os.Stdout)
+	}
+	run, err := experiments.TraceIOR(opts)
+	if err != nil {
+		return err
+	}
+	rep, err := run.WhatIf(*factor)
+	if err != nil {
+		return err
+	}
+	return rep.WriteText(os.Stdout)
 }
 
 func cmdShow(args []string) error {

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs one dispatch with os.Stdout redirected to a pipe and
+// returns what the command printed alongside its error.
+func capture(t *testing.T, cmd string, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := dispatch(cmd, args)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestSummaryOnTinyTrace(t *testing.T) {
+	out, err := capture(t, "summary", "-trace", "testdata/tiny.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"requests:   24", "4 reads, 20 writes", "open files: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDivideOnTinyTrace(t *testing.T) {
+	out, err := capture(t, "divide", "-trace", "testdata/tiny.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "regions (threshold") {
+		t.Errorf("divide output malformed:\n%s", out)
+	}
+}
+
+func TestOptimizeShowRoundTrip(t *testing.T) {
+	rst := filepath.Join(t.TempDir(), "tiny.rst")
+	out, err := capture(t, "optimize", "-trace", "testdata/tiny.trace", "-out", rst, "-probes", "50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "RST with") || !strings.Contains(out, "threshold used") {
+		t.Errorf("optimize output malformed:\n%s", out)
+	}
+	out, err = capture(t, "show", "-rst", rst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "H stripe") {
+		t.Errorf("show output malformed:\n%s", out)
+	}
+}
+
+func TestTraceCommandQuick(t *testing.T) {
+	json := filepath.Join(t.TempDir(), "trace.json")
+	out, err := capture(t, "trace", "-quick", "-out", json)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "spans written") || !strings.Contains(out, "ior: write") {
+		t.Errorf("trace output malformed:\n%s", out)
+	}
+	data, err := os.ReadFile(json)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `{"displayTimeUnit"`) {
+		t.Error("trace export is not trace_event JSON")
+	}
+}
+
+func TestMonitorCommandQuick(t *testing.T) {
+	out, err := capture(t, "monitor", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"layout health", "advice: restripe", "detected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("monitor missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHealthExitCodes(t *testing.T) {
+	out, err := capture(t, "health", "-quick")
+	var code exitCode
+	if !errors.As(err, &code) || code != 1 {
+		t.Fatalf("shifted health err = %v, want exit code 1", err)
+	}
+	if !strings.Contains(out, "STALE") {
+		t.Errorf("stale health output malformed:\n%s", out)
+	}
+	out, err = capture(t, "health", "-quick", "-shift=false")
+	if err != nil {
+		t.Fatalf("control health: %v", err)
+	}
+	if !strings.Contains(out, "healthy") {
+		t.Errorf("control health output malformed:\n%s", out)
+	}
+}
+
+func TestCritPathCommandQuick(t *testing.T) {
+	json := filepath.Join(t.TempDir(), "highlight.json")
+	out, err := capture(t, "critpath", "-quick", "-out", json)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"critical path:", "by kind:", "by tier:", "highlighted trace written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("critpath missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(json)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"critical-path"`) {
+		t.Error("highlight export missing the critical-path track")
+	}
+}
+
+func TestWhatIfDriftCommandQuick(t *testing.T) {
+	out, err := capture(t, "whatif", "-quick", "-drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"what-if baseline:", "#1 restripe/r", "causal gain", "(measured)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("whatif -drift missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownCommandUsage(t *testing.T) {
+	var code exitCode
+	if _, err := capture(t, "bogus"); !errors.As(err, &code) || code != 2 {
+		t.Fatalf("unknown command err = %v, want exit code 2", err)
+	}
+}

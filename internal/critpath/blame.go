@@ -1,0 +1,121 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"harl/internal/sim"
+)
+
+// BlameTable aggregates the critical-path segments into per-resource
+// totals: exact virtual time on the blocking chain, keyed every way the
+// operator might ask "who do I fix?".
+type BlameTable struct {
+	// Total is the makespan — the sum of every bucket in any one of the
+	// keyings below.
+	Total sim.Duration
+	// Kind splits the path by segment kind (disk, queue, net, mds,
+	// client, idle).
+	Kind map[Kind]sim.Duration
+	// Server charges disk and queue segments to their data server.
+	Server map[string]sim.Duration
+	// Tier charges disk and queue segments to "hdd" or "ssd".
+	Tier map[string]sim.Duration
+	// Region charges every attributed segment to its RST region
+	// (strconv keys; "-" for unattributed time).
+	Region map[string]sim.Duration
+	// Phase splits the path by workload phase (write, read, meta, …).
+	Phase map[string]sim.Duration
+}
+
+// buildBlame folds the result's segments into the table.
+func buildBlame(r *Result) *BlameTable {
+	b := &BlameTable{
+		Kind:   make(map[Kind]sim.Duration),
+		Server: make(map[string]sim.Duration),
+		Tier:   make(map[string]sim.Duration),
+		Region: make(map[string]sim.Duration),
+		Phase:  make(map[string]sim.Duration),
+	}
+	for _, seg := range r.Segments {
+		d := seg.Duration()
+		b.Total += d
+		b.Kind[seg.Attr.Kind] += d
+		if seg.Attr.Kind == KindDisk || seg.Attr.Kind == KindQueue {
+			b.Server[seg.Attr.Where] += d
+			if seg.Attr.Tier != "" {
+				b.Tier[seg.Attr.Tier] += d
+			}
+		}
+		region := "-"
+		if seg.Attr.Region >= 0 {
+			region = strconv.Itoa(seg.Attr.Region)
+		}
+		b.Region[region] += d
+		phase := seg.Attr.Phase
+		if phase == "" {
+			phase = "-"
+		}
+		b.Phase[phase] += d
+	}
+	return b
+}
+
+// Share returns d as a fraction of the table's total (0 when empty).
+func (b *BlameTable) Share(d sim.Duration) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(d) / float64(b.Total)
+}
+
+// TierShare returns one tier's fraction of all device time (disk +
+// queue) on the critical path — the measured figure FigCritPath checks
+// against the cost model's limiting-tier decomposition.
+func (b *BlameTable) TierShare(tier string) float64 {
+	var device sim.Duration
+	for _, d := range b.Tier {
+		device += d
+	}
+	if device == 0 {
+		return 0
+	}
+	return float64(b.Tier[tier]) / float64(device)
+}
+
+// WriteText renders the table as the harlctl critpath report: one line
+// per bucket, descending share, deterministic order.
+func (b *BlameTable) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "critical path: %v total\n", b.Total); err != nil {
+		return err
+	}
+	kinds := make(map[string]sim.Duration, len(b.Kind))
+	for k, d := range b.Kind {
+		kinds[string(k)] = d
+	}
+	for _, group := range []struct {
+		name string
+		m    map[string]sim.Duration
+	}{
+		{"kind", kinds},
+		{"server", b.Server},
+		{"tier", b.Tier},
+		{"region", b.Region},
+		{"phase", b.Phase},
+	} {
+		if len(group.m) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  by %s:\n", group.name); err != nil {
+			return err
+		}
+		for _, s := range sortShares(group.m) {
+			if _, err := fmt.Fprintf(w, "    %-12s %6.1f%%  %v\n",
+				s.Key, 100*b.Share(s.Dur), s.Dur); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

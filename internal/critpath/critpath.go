@@ -1,0 +1,369 @@
+// Package critpath analyzes a recorded span forest and answers two
+// questions the raw trace only implies: *where did the time go* and
+// *what would have helped*.
+//
+// The critical-path extractor (Analyze) walks the forest backwards from
+// the last-finishing event, reconstructing the chain of activity that
+// actually bounded the run: at every instant it descends into the
+// latest-finishing child that was still running, so the resulting
+// segments tile the whole timeline [0, End] with exactly one blamed
+// activity each. Aggregating the segments gives per-resource blame — by
+// server, tier, region and phase — in exact virtual time, not samples.
+//
+// The causal what-if engine (whatif.go) takes the complementary road:
+// instead of attributing the past it replays the identical seeded
+// scenario with one resource virtually scaled and reports the *measured*
+// makespan delta. Because the clock is virtual the counterfactual is
+// exact — the COZ idea without COZ's sampling noise.
+//
+// Both analyses are pure functions of recorded data and replays; they
+// never mutate the run they explain.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"harl/internal/obs"
+	"harl/internal/sim"
+)
+
+// Kind classifies what a critical-path segment was waiting on.
+type Kind string
+
+// Segment kinds, from the device up: disk service, disk-queue wait,
+// network transfer, metadata RPC, client-side compute/fan-out logic, and
+// idle gaps where nothing on the blocking chain ran (think time,
+// barriers between phases).
+const (
+	KindDisk   Kind = "disk"
+	KindQueue  Kind = "queue"
+	KindNet    Kind = "net"
+	KindMDS    Kind = "mds"
+	KindClient Kind = "client"
+	KindIdle   Kind = "idle"
+)
+
+// Attr locates a segment's blame: which resource, which tier, which RST
+// region and which workload phase it charged.
+type Attr struct {
+	Kind Kind
+	// Where names the resource: server name for disk/queue, node name
+	// for net, client track otherwise.
+	Where string
+	// Tier is "hdd" or "ssd" for disk and queue segments, "" otherwise.
+	Tier string
+	// Region is the RST region the enclosing operation targeted, -1 when
+	// no ancestor carries a region tag.
+	Region int
+	// Phase is the root operation's phase: "write", "read" or "meta".
+	Phase string
+}
+
+// Segment is one maximal interval of the critical path blamed on a
+// single span (SpanID 0 for idle gaps).
+type Segment struct {
+	Start sim.Time
+	End   sim.Time
+	Span  obs.SpanID
+	Attr  Attr
+}
+
+// Duration returns the segment's extent.
+func (s Segment) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Result is one trace's critical-path decomposition.
+type Result struct {
+	// End is the makespan: the last instant any recorded interval ends.
+	End sim.Time
+	// Segments tile [0, End] in increasing time order; adjacent segments
+	// share endpoints and every instant is blamed exactly once.
+	Segments []Segment
+	// Blame aggregates the segments into per-resource totals.
+	Blame *BlameTable
+}
+
+// rec is the analyzer's per-span working state.
+type rec struct {
+	span   obs.Span
+	idx    int // recording order, the deterministic tie-break
+	region int // memoized region attribution, -2 = not yet computed
+	phase  string
+}
+
+type analyzer struct {
+	recs     []rec
+	byID     map[obs.SpanID]*rec
+	children map[obs.SpanID][]*rec // interval children in recording order
+	segments []Segment             // built backwards, reversed at the end
+}
+
+// Analyze extracts the critical path from a recorded span forest —
+// typically tracer.Spans() after a completed run. It returns an error
+// only for traces with no closed interval spans at all.
+func Analyze(spans []obs.Span) (*Result, error) {
+	a := &analyzer{
+		byID:     make(map[obs.SpanID]*rec, len(spans)),
+		children: make(map[obs.SpanID][]*rec),
+	}
+	a.recs = make([]rec, 0, len(spans))
+	var end sim.Time
+	for i, s := range spans {
+		// Only closed, strictly positive intervals can block anything:
+		// instants and counters are annotations, zero-duration spans
+		// (loopback control messages on a zero-latency fabric) cannot
+		// carry the chain, and open spans never finished.
+		if s.Inst || s.Ctr || s.End <= s.Start {
+			continue
+		}
+		a.recs = append(a.recs, rec{span: s, idx: i, region: -2})
+		if s.End > end {
+			end = s.End
+		}
+	}
+	if len(a.recs) == 0 {
+		return nil, fmt.Errorf("critpath: trace has no closed interval spans")
+	}
+	for i := range a.recs {
+		r := &a.recs[i]
+		a.byID[r.span.ID] = r
+		a.children[r.span.Parent] = append(a.children[r.span.Parent], r)
+	}
+
+	// Walk the root chain backwards from the makespan. Roots are spans
+	// with no recorded parent; a.children[0] holds them in recording
+	// order. Between the cursor and the latest root finishing at or
+	// before it lies an idle gap — charged to the track that resumed
+	// work, since that is who was waiting.
+	roots := a.children[0]
+	cursor := end
+	for cursor > 0 {
+		root := latestEnding(roots, cursor)
+		if root == nil {
+			a.emit(Segment{Start: 0, End: cursor, Attr: Attr{Kind: KindIdle, Region: -1}})
+			break
+		}
+		if root.span.End < cursor {
+			a.emit(Segment{
+				Start: root.span.End, End: cursor,
+				Attr: Attr{Kind: KindIdle, Where: root.span.Track, Region: a.regionOf(root), Phase: a.phaseOf(root)},
+			})
+			cursor = root.span.End
+		}
+		a.consume(root, cursor)
+		cursor = root.span.Start
+	}
+
+	// The segments were emitted back to front; reverse into time order.
+	for i, j := 0, len(a.segments)-1; i < j; i, j = i+1, j-1 {
+		a.segments[i], a.segments[j] = a.segments[j], a.segments[i]
+	}
+	res := &Result{End: end, Segments: a.segments}
+	res.Blame = buildBlame(res)
+	return res, nil
+}
+
+// consume blames the interval [r.span.Start, cursor] on r and its
+// descendants: repeatedly descend into the latest-finishing child still
+// running at the cursor, charging the gaps between children to r itself.
+func (a *analyzer) consume(r *rec, cursor sim.Time) {
+	for cursor > r.span.Start {
+		c := latestEnding(a.children[r.span.ID], cursor)
+		if c == nil || c.span.End <= r.span.Start {
+			a.emit(Segment{Start: r.span.Start, End: cursor, Span: r.span.ID, Attr: a.classify(r)})
+			return
+		}
+		if c.span.End < cursor {
+			a.emit(Segment{Start: c.span.End, End: cursor, Span: r.span.ID, Attr: a.classify(r)})
+			cursor = c.span.End
+		}
+		a.consume(c, cursor)
+		cursor = c.span.Start
+		if cursor < r.span.Start {
+			// A child reaching back before its parent (retroactively
+			// emitted sub-spans) still only blames the parent's extent.
+			return
+		}
+	}
+}
+
+// latestEnding picks the candidate with the greatest End at or before
+// the cursor, breaking ties by recording order (later wins) so the walk
+// is deterministic for back-to-back equal spans.
+func latestEnding(cands []*rec, cursor sim.Time) *rec {
+	var best *rec
+	for _, c := range cands {
+		if c.span.End > cursor {
+			continue
+		}
+		if best == nil || c.span.End > best.span.End ||
+			(c.span.End == best.span.End && c.idx > best.idx) {
+			best = c
+		}
+	}
+	return best
+}
+
+func (a *analyzer) emit(s Segment) {
+	if s.End <= s.Start {
+		return
+	}
+	a.segments = append(a.segments, s)
+}
+
+// classify maps a span to its blame attribution by name and track — the
+// span inventory the simulator's instrumentation emits.
+func (a *analyzer) classify(r *rec) Attr {
+	at := Attr{Region: a.regionOf(r), Phase: a.phaseOf(r)}
+	name, track := r.span.Name, r.span.Track
+	switch {
+	case name == "disk.read" || name == "disk.write":
+		at.Kind, at.Where = KindDisk, track
+		at.Tier, _ = r.span.Tag("tier")
+	case name == "disk.wait":
+		at.Kind, at.Where = KindQueue, track
+		at.Tier, _ = r.span.Tag("tier")
+	case name == "xfer":
+		at.Kind, at.Where = KindNet, strings.TrimPrefix(track, "net/")
+	case strings.HasPrefix(name, "mds."):
+		at.Kind, at.Where = KindMDS, track
+	default:
+		at.Kind, at.Where = KindClient, track
+	}
+	return at
+}
+
+// regionOf resolves a span's RST region by walking ancestors for a
+// "region" tag, memoizing along the chain. -1 means unattributed.
+func (a *analyzer) regionOf(r *rec) int {
+	if r.region != -2 {
+		return r.region
+	}
+	r.region = -1
+	if v, ok := r.span.Tag("region"); ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			r.region = n
+		}
+	} else if p := a.byID[r.span.Parent]; p != nil {
+		r.region = a.regionOf(p)
+	}
+	return r.region
+}
+
+// phaseOf derives the workload phase from the span's root operation:
+// mpi.write/pfs.write chains are "write", read chains "read", metadata
+// RPCs "meta"; anything else keeps its root name.
+func (a *analyzer) phaseOf(r *rec) string {
+	if r.phase != "" {
+		return r.phase
+	}
+	root := r
+	for {
+		p := a.byID[root.span.Parent]
+		if p == nil {
+			break
+		}
+		root = p
+	}
+	name := root.span.Name
+	switch {
+	case strings.HasSuffix(name, ".write"):
+		r.phase = "write"
+	case strings.HasSuffix(name, ".read"):
+		r.phase = "read"
+	case strings.HasPrefix(name, "mds."):
+		r.phase = "meta"
+	default:
+		r.phase = name
+	}
+	return r.phase
+}
+
+// Coverage returns the summed extent of all segments; by construction it
+// equals End exactly — the analyzer's tiling invariant, asserted by the
+// tests and the FigCritPath experiment.
+func (r *Result) Coverage() sim.Duration {
+	var total sim.Duration
+	for _, s := range r.Segments {
+		total += s.Duration()
+	}
+	return total
+}
+
+// HighlightSpans renders the critical path as a synthetic span track
+// ("critical-path") for the Chrome export: one span per maximal run of
+// identical attribution, so the viewer shows the blocking chain as a
+// single annotated timeline above the raw trace. Feed the result to
+// obs.WriteChromeWith.
+func (r *Result) HighlightSpans() []obs.Span {
+	var out []obs.Span
+	for _, seg := range r.Segments {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.End == seg.Start && sameAttr(last, seg.Attr) {
+				last.End = seg.End
+				continue
+			}
+		}
+		tags := []obs.Tag{obs.T("kind", string(seg.Attr.Kind))}
+		if seg.Attr.Where != "" {
+			tags = append(tags, obs.T("where", seg.Attr.Where))
+		}
+		if seg.Attr.Tier != "" {
+			tags = append(tags, obs.T("tier", seg.Attr.Tier))
+		}
+		if seg.Attr.Region >= 0 {
+			tags = append(tags, obs.TInt("region", int64(seg.Attr.Region)))
+		}
+		if seg.Attr.Phase != "" {
+			tags = append(tags, obs.T("phase", seg.Attr.Phase))
+		}
+		name := string(seg.Attr.Kind)
+		if seg.Attr.Where != "" {
+			name += " " + seg.Attr.Where
+		}
+		out = append(out, obs.Span{
+			Track: "critical-path",
+			Name:  name,
+			Start: seg.Start,
+			End:   seg.End,
+			Tags:  tags,
+		})
+	}
+	return out
+}
+
+// sameAttr reports whether a highlight span's tags came from the same
+// attribution (kind+where+tier+region+phase match).
+func sameAttr(s *obs.Span, at Attr) bool {
+	get := func(k string) string { v, _ := s.Tag(k); return v }
+	region := -1
+	if v, ok := s.Tag("region"); ok {
+		region, _ = strconv.Atoi(v)
+	}
+	return get("kind") == string(at.Kind) && get("where") == at.Where &&
+		get("tier") == at.Tier && region == at.Region && get("phase") == at.Phase
+}
+
+// sortedShares renders a duration map as "key share" pairs sorted by
+// descending share, ties broken by key — the deterministic report order.
+type share struct {
+	Key string
+	Dur sim.Duration
+}
+
+func sortShares(m map[string]sim.Duration) []share {
+	out := make([]share, 0, len(m))
+	for k, v := range m {
+		out = append(out, share{Key: k, Dur: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dur != out[j].Dur {
+			return out[i].Dur > out[j].Dur
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

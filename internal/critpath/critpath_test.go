@@ -1,0 +1,223 @@
+package critpath
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"harl/internal/obs"
+	"harl/internal/sim"
+)
+
+// synthetic builds a two-request forest shaped like the simulator's real
+// instrumentation: a write chain (net out, queue, disk, net back, client
+// fan-in), an idle gap, then a read chain on the other tier.
+func synthetic(t *testing.T) []obs.Span {
+	t.Helper()
+	e := sim.NewEngine(1)
+	tr := obs.NewTracer(e)
+	at := func(s, d int64) (sim.Time, sim.Time) { return sim.Time(s), sim.Time(s + d) }
+
+	// Write request [0, 100] targeting region 1 on the HDD tier.
+	w0, w1 := at(0, 100)
+	root1 := tr.Emit("cn0", "mpi.write", 0, w0, w1)
+	pfs1 := tr.Emit("cn0", "pfs.write", root1, w0, w1, obs.TInt("region", 1))
+	att1 := tr.Emit("cn0", "attempt", pfs1, 0, 90)
+	tr.Emit("net/h0", "xfer", att1, 0, 10)
+	tr.Emit("h0", "disk.wait", att1, 10, 20, obs.T("tier", "hdd"))
+	tr.Emit("h0", "disk.write", att1, 20, 70, obs.T("tier", "hdd"))
+	tr.Emit("net/cn0", "xfer", att1, 70, 80)
+
+	// Idle gap [100, 120], then a read [120, 200] on region 0 / SSD.
+	r0, r1 := at(120, 80)
+	root2 := tr.Emit("cn0", "mpi.read", 0, r0, r1)
+	pfs2 := tr.Emit("cn0", "pfs.read", root2, r0, r1, obs.TInt("region", 0))
+	att2 := tr.Emit("cn0", "attempt", pfs2, 120, 195)
+	tr.Emit("s6", "disk.wait", att2, 125, 130, obs.T("tier", "ssd"))
+	tr.Emit("s6", "disk.read", att2, 130, 180, obs.T("tier", "ssd"))
+
+	// Noise the walker must ignore: instants, counters, an open span and
+	// a zero-duration loopback.
+	tr.Instant("h0", "fault.straggle", 0)
+	tr.Counter("monitor", "drift.r0", 50, 0.5)
+	tr.Begin("cn1", "mpi.write", 0)
+	tr.Emit("net/cn0", "xfer", att1, 40, 40, obs.T("loopback", "1"))
+	return tr.Spans()
+}
+
+func TestAnalyzeSyntheticForest(t *testing.T) {
+	res, err := Analyze(synthetic(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.End != 200 {
+		t.Fatalf("makespan %v, want 200ns", res.End)
+	}
+	if got := res.Coverage(); got != 200 {
+		t.Fatalf("coverage %v, want 200ns (segments must tile the timeline)", got)
+	}
+	// Segments must be contiguous and ordered.
+	cursor := sim.Time(0)
+	for i, s := range res.Segments {
+		if s.Start != cursor || s.End <= s.Start {
+			t.Fatalf("segment %d [%v,%v) breaks tiling at %v", i, s.Start, s.End, cursor)
+		}
+		cursor = s.End
+	}
+
+	b := res.Blame
+	wantKind := map[Kind]sim.Duration{
+		KindDisk: 100, KindQueue: 15, KindNet: 20, KindClient: 45, KindIdle: 20,
+	}
+	for k, want := range wantKind {
+		if b.Kind[k] != want {
+			t.Errorf("blame[%s] = %v, want %v", k, b.Kind[k], want)
+		}
+	}
+	if b.Tier["hdd"] != 60 || b.Tier["ssd"] != 55 {
+		t.Errorf("tier blame hdd=%v ssd=%v, want 60/55", b.Tier["hdd"], b.Tier["ssd"])
+	}
+	if b.Server["h0"] != 60 || b.Server["s6"] != 55 {
+		t.Errorf("server blame h0=%v s6=%v, want 60/55", b.Server["h0"], b.Server["s6"])
+	}
+	if b.Region["1"] != 100 || b.Region["0"] != 80 || b.Region["-"] != 20 {
+		t.Errorf("region blame %v, want 1:100 0:80 -:20", b.Region)
+	}
+	if b.Phase["write"] != 120 || b.Phase["read"] != 80 {
+		t.Errorf("phase blame %v, want write:120 read:80", b.Phase)
+	}
+	if b.Total != 200 {
+		t.Errorf("total %v, want 200", b.Total)
+	}
+	if got := b.TierShare("hdd"); got < 0.52 || got > 0.53 {
+		t.Errorf("hdd tier share %v, want 60/115", got)
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	a, err := Analyze(synthetic(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(synthetic(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Segments, b.Segments) {
+		t.Error("identical traces produced different critical paths")
+	}
+}
+
+func TestAnalyzeRejectsEmptyTrace(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("Analyze(nil) succeeded")
+	}
+	e := sim.NewEngine(1)
+	tr := obs.NewTracer(e)
+	tr.Instant("h0", "fault.crash", 0)
+	tr.Counter("m", "c", 0, 1)
+	if _, err := Analyze(tr.Spans()); err == nil {
+		t.Error("Analyze on instants-only trace succeeded")
+	}
+}
+
+func TestHighlightSpansCoalesce(t *testing.T) {
+	res, err := Analyze(synthetic(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := res.HighlightSpans()
+	if len(hs) == 0 || len(hs) >= len(res.Segments) {
+		t.Fatalf("highlight did not coalesce: %d spans from %d segments", len(hs), len(res.Segments))
+	}
+	cursor := sim.Time(0)
+	for _, s := range hs {
+		if s.Track != "critical-path" {
+			t.Fatalf("highlight span on track %q", s.Track)
+		}
+		if s.Start != cursor {
+			t.Fatalf("highlight spans not contiguous at %v", cursor)
+		}
+		cursor = s.End
+	}
+	if cursor != res.End {
+		t.Fatalf("highlight covers to %v, want %v", cursor, res.End)
+	}
+	// Back-to-back client segments from different spans with identical
+	// attribution must merge.
+	for i := 1; i < len(hs); i++ {
+		if k1, _ := hs[i-1].Tag("kind"); k1 == "client" {
+			if k2, _ := hs[i].Tag("kind"); k2 == "client" {
+				r1, _ := hs[i-1].Tag("region")
+				r2, _ := hs[i].Tag("region")
+				if r1 == r2 {
+					t.Errorf("adjacent identical client spans not coalesced at %v", hs[i].Start)
+				}
+			}
+		}
+	}
+}
+
+func TestBlameWriteText(t *testing.T) {
+	res, err := Analyze(synthetic(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Blame.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"by kind:", "by server:", "by tier:", "disk", "hdd", "h0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("blame report missing %q:\n%s", want, out)
+		}
+	}
+	var again bytes.Buffer
+	if err := res.Blame.WriteText(&again); err != nil {
+		t.Fatal(err)
+	}
+	if out != again.String() {
+		t.Error("blame report not deterministic")
+	}
+}
+
+func TestWhatIfRanking(t *testing.T) {
+	mk := func(name string, measured sim.Duration) Candidate {
+		return Candidate{Name: name, Detail: "test", Run: func() (sim.Duration, error) { return measured, nil }}
+	}
+	rep, err := WhatIf(100, []Candidate{
+		mk("regression", 120),
+		mk("small-win", 90),
+		mk("big-win", 70),
+		mk("identity", 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(rep.Outcomes))
+	for i, o := range rep.Outcomes {
+		got[i] = o.Name
+	}
+	want := []string{"big-win", "small-win", "identity", "regression"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ranking %v, want %v", got, want)
+	}
+	if top := rep.Top(); top.Name != "big-win" || top.Delta != 30 || top.Gain != 0.3 {
+		t.Errorf("top = %+v", top)
+	}
+	if rep.Outcomes[3].Delta != -20 {
+		t.Errorf("regression delta %v, want -20", rep.Outcomes[3].Delta)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#1 big-win") {
+		t.Errorf("what-if report malformed:\n%s", buf.String())
+	}
+	if _, err := WhatIf(0, nil); err == nil {
+		t.Error("WhatIf accepted a zero baseline")
+	}
+}

@@ -1,0 +1,100 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"harl/internal/sim"
+)
+
+// Candidate is one counterfactual: an independent replay of the same
+// seeded scenario with a single resource virtually changed, returning
+// the metric under that change (makespan, or any window of it).
+type Candidate struct {
+	// Name identifies the candidate in reports ("tier/hdd x2").
+	Name string
+	// Detail is a one-line human explanation of the change.
+	Detail string
+	// Run executes the counterfactual from scratch and returns the
+	// measured metric. It must build its own engine — candidates share
+	// nothing, so each replay is exact and order-independent.
+	Run func() (sim.Duration, error)
+}
+
+// Outcome is one candidate's measured result against the baseline.
+type Outcome struct {
+	Name     string
+	Detail   string
+	Measured sim.Duration
+	// Delta is baseline − measured: positive means the change made the
+	// run faster by that much virtual time.
+	Delta sim.Duration
+	// Gain is Delta as a fraction of the baseline.
+	Gain float64
+}
+
+// Report ranks counterfactual outcomes — the "optimize this next" list.
+type Report struct {
+	// Baseline is the unmodified run's metric.
+	Baseline sim.Duration
+	// Outcomes are sorted by descending Delta (ties by name): the first
+	// entry is the most profitable change.
+	Outcomes []Outcome
+}
+
+// WhatIf measures every candidate against the baseline metric. Because
+// every replay runs the identical seeded event sequence on a virtual
+// clock, the deltas are exact causal effects, not estimates; a candidate
+// whose Run fails aborts the whole report, since a deterministic replay
+// can only fail from a bug.
+func WhatIf(baseline sim.Duration, cands []Candidate) (*Report, error) {
+	if baseline <= 0 {
+		return nil, fmt.Errorf("critpath: what-if baseline %v must be positive", baseline)
+	}
+	rep := &Report{Baseline: baseline}
+	for _, c := range cands {
+		m, err := c.Run()
+		if err != nil {
+			return nil, fmt.Errorf("critpath: candidate %q: %w", c.Name, err)
+		}
+		delta := baseline - m
+		rep.Outcomes = append(rep.Outcomes, Outcome{
+			Name:     c.Name,
+			Detail:   c.Detail,
+			Measured: m,
+			Delta:    delta,
+			Gain:     float64(delta) / float64(baseline),
+		})
+	}
+	sort.Slice(rep.Outcomes, func(i, j int) bool {
+		if rep.Outcomes[i].Delta != rep.Outcomes[j].Delta {
+			return rep.Outcomes[i].Delta > rep.Outcomes[j].Delta
+		}
+		return rep.Outcomes[i].Name < rep.Outcomes[j].Name
+	})
+	return rep, nil
+}
+
+// Top returns the highest-ranked outcome, or a zero Outcome when the
+// report is empty.
+func (r *Report) Top() Outcome {
+	if len(r.Outcomes) == 0 {
+		return Outcome{}
+	}
+	return r.Outcomes[0]
+}
+
+// WriteText renders the ranked report — the harlctl whatif output.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "what-if baseline: %v\n", r.Baseline); err != nil {
+		return err
+	}
+	for i, o := range r.Outcomes {
+		if _, err := fmt.Fprintf(w, "  #%d %-16s %+6.1f%%  %v -> %v  (%s)\n",
+			i+1, o.Name, 100*o.Gain, r.Baseline, o.Measured, o.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

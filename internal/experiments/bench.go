@@ -24,6 +24,10 @@ type BenchStats struct {
 	// AnalysisWallSeconds is the real time the Analysis Phase took on the
 	// IOR trace.
 	AnalysisWallSeconds float64
+	// DriftEndSeconds is the virtual finishing time of the bare
+	// (unmonitored) shifted drift scenario — the what-if engine's
+	// baseline workload.
+	DriftEndSeconds float64
 }
 
 // BenchSnapshot measures the tracked benchmark numbers at the given
@@ -69,5 +73,12 @@ func BenchSnapshot(o Options) (BenchStats, error) {
 		return st, err
 	}
 	st.BTIOEndSeconds = tb.Engine.Now().Sub(0).Seconds()
+
+	// Bare shifted drift run — the causal profiler's baseline scenario.
+	drift, err := runDrift(o, true, false)
+	if err != nil {
+		return st, err
+	}
+	st.DriftEndSeconds = drift.End.Sub(0).Seconds()
 	return st, nil
 }

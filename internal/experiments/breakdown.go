@@ -30,6 +30,7 @@ type TraceRun struct {
 	End     sim.Time // virtual time when the run finished
 	Params  cost.Params
 	Config  ior.Config
+	Opts    Options // the options that produced the run, for exact replays
 }
 
 // WriteChrome exports the run's span trace as Chrome trace_event JSON,
@@ -67,11 +68,25 @@ func traceIOR(o Options, instrument bool) (*TraceRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	return placedIOR(o, params, plan, cfg, instrument, nil)
+}
+
+// placedIOR executes the IOR workload on a fresh cluster under an
+// already-computed plan. adjust, when non-nil, mutates the testbed after
+// construction and before any traffic flows — the what-if engine's hook
+// for virtually scaling a resource. With a nil adjust and instrument
+// false this is the exact bare replay of the seeded scenario.
+func placedIOR(o Options, params cost.Params, plan *harl.Plan, cfg ior.Config, instrument bool, adjust func(*cluster.Testbed)) (*TraceRun, error) {
+	clusterCfg := cluster.Default()
+	clusterCfg.Seed = o.Seed
 	tb, err := cluster.New(clusterCfg)
 	if err != nil {
 		return nil, err
 	}
-	run := &TraceRun{Plan: plan, FS: tb.FS, Params: params, Config: cfg}
+	if adjust != nil {
+		adjust(tb)
+	}
+	run := &TraceRun{Plan: plan, FS: tb.FS, Params: params, Config: cfg, Opts: o}
 	if instrument {
 		run.Tracer, run.Metrics = tb.Instrument()
 	}

@@ -135,6 +135,16 @@ func RunDrift(o Options, shift bool) (*DriftRun, error) {
 // differential test can run the identical workload bare and compare the
 // run-identity facts event for event.
 func runDrift(o Options, shift, monitored bool) (*DriftRun, error) {
+	return runDriftWith(o, shift, monitored, nil, nil)
+}
+
+// runDriftWith is the drift scenario with the what-if engine's two
+// counterfactual knobs: override re-stripes chosen regions at placement
+// time (keyed by region index — "what if we had restriped before the
+// shift"), and adjust mutates the testbed before any traffic flows
+// ("what if this resource were faster"). Both nil reproduce runDrift
+// exactly, event for event.
+func runDriftWith(o Options, shift, monitored bool, override map[int]harl.StripePair, adjust func(*cluster.Testbed)) (*DriftRun, error) {
 	clusterCfg := cluster.Default()
 	clusterCfg.Seed = o.Seed
 	params, err := calibrated(clusterCfg, o.Probes)
@@ -152,9 +162,26 @@ func runDrift(o Options, shift, monitored bool) (*DriftRun, error) {
 	fp := plan.Fingerprint
 	shiftRegion := len(fp.Regions) - 1
 
+	// The placed table may diverge from the plan under an override; the
+	// plan (and the monitor's fingerprint) deliberately keep the original
+	// pairs — the counterfactual asks how the *same* plan would have
+	// fared with different placement, not for a new plan.
+	placed := plan.RST
+	if len(override) > 0 {
+		placed.Entries = append([]harl.RSTEntry(nil), plan.RST.Entries...)
+		for i := range placed.Entries {
+			if pair, ok := override[i]; ok {
+				placed.Entries[i].H, placed.Entries[i].S = pair.H, pair.S
+			}
+		}
+	}
+
 	tb, err := cluster.New(clusterCfg)
 	if err != nil {
 		return nil, err
+	}
+	if adjust != nil {
+		adjust(tb)
 	}
 	run := &DriftRun{Plan: plan, Shifted: shift, ShiftedRegion: shiftRegion}
 	if monitored {
@@ -167,7 +194,7 @@ func runDrift(o Options, shift, monitored bool) (*DriftRun, error) {
 	var f *mpiio.HARLFile
 	var createErr error
 	w.Run(func() {
-		w.CreateHARL("drift", &plan.RST, func(file *mpiio.HARLFile, err error) {
+		w.CreateHARL("drift", &placed, func(file *mpiio.HARLFile, err error) {
 			f, createErr = file, err
 		})
 	})

@@ -104,6 +104,85 @@ func TestRestripeRidesOutCrash(t *testing.T) {
 	}
 }
 
+// A RestripeWith migration crashed mid-copy — with the temporary file
+// already holding committed chunks — must abort cleanly: the partial
+// copy is removed, and the source survives untouched under its original
+// layout.
+func TestRestripeWithCrashMidCopy(t *testing.T) {
+	tb := smallSSDbed(t, 8<<20)
+	tb.FS.ClientPolicy = pfs.Policy{
+		Timeout:    20 * sim.Millisecond,
+		MaxRetries: 2,
+		Backoff:    sim.Millisecond,
+	}
+	// Small chunks force many copy round-trips, so a delayed crash lands
+	// between them rather than before the first.
+	m, err := New(tb.FS, Policy{HighWatermark: 0.9, LowWatermark: 0.5,
+		CheckInterval: sim.Second, CopyChunk: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tb.FS.NewClient("writer")
+	payload := make([]byte, 2<<20)
+	rand.New(rand.NewSource(13)).Read(payload)
+	st := layout.Striping{M: 2, N: 2, H: 16 << 10, S: 64 << 10}
+	writeFile(t, tb.Engine, c, "data", st, payload)
+
+	target := layout.Striping{M: 2, N: 2, H: 64 << 10, S: 16 << 10}
+	completed := false
+	var merr error
+	tb.Engine.Schedule(0, func() {
+		m.RestripeWith("data", RelayoutTo(target), func(_ int64, err error) {
+			completed, merr = true, err
+		})
+	})
+	midCopy := false
+	tb.Engine.Schedule(40*sim.Millisecond, func() {
+		// The crash must land while the copy loop is between chunks: the
+		// temporary destination exists and already holds committed bytes.
+		for _, name := range tb.FS.FileNames() {
+			if name == "data.migrating" {
+				midCopy = true
+			}
+		}
+		tb.FS.Crash(3)
+	})
+	tb.Engine.Run()
+
+	if !midCopy {
+		t.Fatal("crash fired before the copy started; the test proves nothing")
+	}
+	if !completed {
+		t.Fatal("migration neither completed nor aborted — a callback was lost")
+	}
+	if merr == nil {
+		t.Fatal("migration reported success against a crashed server")
+	}
+
+	tb.FS.Recover(3)
+	if got := readBack(t, tb.Engine, c, "data", int64(len(payload))); !bytes.Equal(got, payload) {
+		t.Fatal("mid-copy crash corrupted the source file")
+	}
+	var meta pfs.FileMeta
+	tb.Engine.Schedule(0, func() {
+		c.Open("data", func(f *pfs.File, err error) {
+			if err != nil {
+				t.Errorf("open source: %v", err)
+				return
+			}
+			meta = f.Meta()
+		})
+	})
+	tb.Engine.Run()
+	if meta.Layout != layout.Mapper(st) {
+		t.Fatalf("source layout changed to %v during aborted migration", meta.Layout)
+	}
+	names := tb.FS.FileNames()
+	if len(names) != 1 || names[0] != "data" {
+		t.Fatalf("leftover files after mid-copy abort: %v", names)
+	}
+}
+
 // A migration whose retries run out must abort cleanly: the source file
 // stays intact and readable, and the temporary copy is removed.
 func TestRestripeAbortsCleanlyWhenRetriesExhaust(t *testing.T) {

@@ -45,6 +45,13 @@ type Advice struct {
 	CurCost  float64
 	BestCost float64
 	Gain     float64
+
+	// CausalGain, when CausalMeasured is set, is the fraction of the
+	// post-shift window the what-if profiler measured the restripe to
+	// save by actually replaying the scenario with the recommended pair
+	// (critpath.WhatIf) — evidence, not a model projection.
+	CausalGain     float64
+	CausalMeasured bool
 }
 
 // HealthReport is the monitor's layout-health verdict at a point in
@@ -191,8 +198,12 @@ func (r *HealthReport) WriteText(w io.Writer) error {
 		return err
 	}
 	for _, a := range r.Advice {
-		if _, err := fmt.Fprintf(w, "  advice: restripe %s (r%d) %s -> %s, modeled gain %.1f%%\n",
-			a.File, a.Region, a.From, a.To, 100*a.Gain); err != nil {
+		causal := ""
+		if a.CausalMeasured {
+			causal = fmt.Sprintf(", causal gain %.1f%% (measured)", 100*a.CausalGain)
+		}
+		if _, err := fmt.Fprintf(w, "  advice: restripe %s (r%d) %s -> %s, modeled gain %.1f%%%s\n",
+			a.File, a.Region, a.From, a.To, 100*a.Gain, causal); err != nil {
 			return err
 		}
 	}

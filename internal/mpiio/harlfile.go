@@ -98,6 +98,7 @@ func (w *World) CreateHARL(name string, rst *harl.RST, done func(*HARLFile, erro
 	var createRegion func(i int)
 	createRegion = func(i int) {
 		if i == len(rst.Entries) {
+			f.tagRegionHandles()
 			done(f, nil)
 			return
 		}
@@ -241,6 +242,17 @@ func opStatus(err error) string {
 	return "ok"
 }
 
+// tagRegionHandles stamps every rank's handle with its region index, so
+// the pfs.read/pfs.write spans the handles open carry a "region" tag —
+// the hook the critical-path analyzer's per-region blame rides on.
+func (f *HARLFile) tagRegionHandles() {
+	for i, hs := range f.handles {
+		for _, h := range hs {
+			h.SetSpanTags(obs.TInt("region", int64(i)))
+		}
+	}
+}
+
 // instrumentRegions pre-resolves the per-region traffic counters so the
 // request path never touches the registry map. No-op without a registry.
 func (f *HARLFile) instrumentRegions(reg *obs.Registry) {
@@ -304,6 +316,7 @@ func (w *World) CreateHARLTiered(name string, trst *harl.TieredRST, done func(*H
 	var createRegion func(i int)
 	createRegion = func(i int) {
 		if i == len(trst.Entries) {
+			f.tagRegionHandles()
 			done(f, nil)
 			return
 		}

@@ -76,6 +76,17 @@ func (n *Network) Config() Config { return n.cfg }
 // identically.
 func (n *Network) Instrument(tr *obs.Tracer) { n.tracer = tr }
 
+// ScaleBandwidth multiplies every link's per-direction bandwidth — the
+// causal profiler's "what if the interconnect were k× faster" knob.
+// Apply it before traffic flows: transfers already on the wire keep the
+// rate they were admitted at.
+func (n *Network) ScaleBandwidth(factor float64) {
+	if !(factor > 0) {
+		panic(fmt.Sprintf("netsim: bandwidth scale factor %v must be positive", factor))
+	}
+	n.cfg.Bandwidth *= factor
+}
+
 // SyncMetrics mirrors the network's accumulated traffic accounting and
 // per-node lane utilizations into the registry. Safe on a nil registry.
 func (n *Network) SyncMetrics(reg *obs.Registry) {

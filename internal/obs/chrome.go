@@ -19,46 +19,83 @@ import (
 
 // WriteChrome writes the recorded trace as trace_event JSON.
 func (t *Tracer) WriteChrome(w io.Writer) error {
+	return t.WriteChromeWith(w, nil)
+}
+
+// WriteChromeWith is WriteChrome with extra synthetic spans appended to
+// the export — e.g. a critical-path highlight track — sharing the same
+// process and track table. Extra spans whose ID is 0 are numbered after
+// the recorded spans, keeping ids unique and the output deterministic.
+func (t *Tracer) WriteChromeWith(w io.Writer, extra []Span) error {
+	spans := t.Spans()
 	bw := &errWriter{w: w}
 	bw.print(`{"displayTimeUnit":"ms","traceEvents":[`)
 
 	// Stable track numbering: sorted unique track names become tids 1..n.
 	tids := make(map[string]int)
-	if t != nil {
-		var tracks []string
-		for _, s := range t.spans {
+	var tracks []string
+	collect := func(list []Span) {
+		for _, s := range list {
 			if _, ok := tids[s.Track]; !ok {
 				tids[s.Track] = 0
 				tracks = append(tracks, s.Track)
 			}
 		}
-		sort.Strings(tracks)
-		for i, name := range tracks {
-			tids[name] = i + 1
-		}
-		first := true
-		for _, name := range tracks {
-			if !first {
-				bw.print(",")
+	}
+	collect(spans)
+	collect(extra)
+	sort.Strings(tracks)
+	for i, name := range tracks {
+		tids[name] = i + 1
+	}
+
+	// Open spans clamp to the trace horizon — the latest instant any span
+	// touches — so they render with their true extent instead of zero
+	// duration, still tagged "unfinished".
+	horizon := sim.Time(0)
+	for _, list := range [][]Span{spans, extra} {
+		for _, s := range list {
+			if s.Start > horizon {
+				horizon = s.Start
 			}
-			first = false
-			bw.printf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
-				tids[name], jsonString(name))
-		}
-		for _, s := range t.spans {
-			if !first {
-				bw.print(",")
+			if s.End > horizon {
+				horizon = s.End
 			}
-			first = false
-			writeEvent(bw, s, tids[s.Track])
 		}
+	}
+
+	first := true
+	for _, name := range tracks {
+		if !first {
+			bw.print(",")
+		}
+		first = false
+		bw.printf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			tids[name], jsonString(name))
+	}
+	for _, s := range spans {
+		if !first {
+			bw.print(",")
+		}
+		first = false
+		writeEvent(bw, s, tids[s.Track], horizon)
+	}
+	for i, s := range extra {
+		if s.ID == 0 {
+			s.ID = SpanID(len(spans) + i + 1)
+		}
+		if !first {
+			bw.print(",")
+		}
+		first = false
+		writeEvent(bw, s, tids[s.Track], horizon)
 	}
 	bw.print("]}\n")
 	return bw.err
 }
 
 // writeEvent emits one span or instant as a trace_event record.
-func writeEvent(bw *errWriter, s Span, tid int) {
+func writeEvent(bw *errWriter, s Span, tid int, horizon sim.Time) {
 	if s.Ctr {
 		// Counter events carry the sampled value in args keyed by the
 		// counter name; the viewer plots them as a stepped series. The
@@ -78,7 +115,7 @@ func writeEvent(bw *errWriter, s Span, tid int) {
 	}
 	end, unfinished := s.End, false
 	if end == openEnd {
-		end, unfinished = s.Start, true
+		end, unfinished = horizon, true
 	}
 	bw.printf(`{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":%s,"args":{`,
 		tid, micros(s.Start), micros(sim.Time(end.Sub(s.Start))), jsonString(s.Name))

@@ -138,3 +138,55 @@ func TestNilTracerCounter(t *testing.T) {
 		t.Errorf("nil tracer Counter allocates %v per call", n)
 	}
 }
+
+// An open span exports with its true extent — clamped to the trace
+// horizon, not zero duration — and carries the unfinished marker.
+func TestChromeUnfinishedClampsToHorizon(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := NewTracer(e)
+	open := tr.Begin("c0", "mpi.write", 0)
+	_ = open
+	tr.Emit("h0", "disk.write", 0, 10_000, 40_000) // horizon = 40µs
+	var b bytes.Buffer
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"dur":40.000,"name":"mpi.write"`) {
+		t.Errorf("open span not clamped to horizon:\n%s", out)
+	}
+	if !strings.Contains(out, `"unfinished":"1"`) {
+		t.Errorf("open span lost its unfinished marker:\n%s", out)
+	}
+}
+
+// WriteChromeWith merges synthetic spans into the export: they get their
+// own track tid, ids numbered after the recorded spans, and they extend
+// the horizon like recorded spans do.
+func TestWriteChromeWithExtra(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := NewTracer(e)
+	id := tr.Begin("c0", "op", 0)
+	tr.End(id)
+	extra := []Span{
+		{Track: "critical-path", Name: "disk.write", Start: 0, End: 25_000, Tags: []Tag{T("where", "h0")}},
+		{Track: "critical-path", Name: "xfer", Start: 25_000, End: 30_000},
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeWith(&b, extra); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("export with extras is not valid JSON:\n%s", out)
+	}
+	for _, want := range []string{
+		`"name":"thread_name","args":{"name":"critical-path"}`,
+		`"args":{"id":2,"where":"h0"}`, // first extra numbered after the 1 recorded span
+		`"args":{"id":3}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extra-span export missing %q:\n%s", want, out)
+		}
+	}
+}

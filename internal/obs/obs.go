@@ -55,7 +55,7 @@ func TInt(key string, value int64) Tag {
 }
 
 // openEnd marks a span whose End was never called; the exporter clamps
-// it to a zero-duration span tagged "unfinished".
+// it to the trace horizon and tags it "unfinished".
 const openEnd sim.Time = -1
 
 // Span is one recorded interval (or instant) on the virtual timeline.
@@ -93,8 +93,9 @@ func (s Span) Tag(key string) (string, bool) {
 // Tracer records spans against an engine's virtual clock. The zero of
 // *Tracer (nil) is a disabled tracer; see the package comment.
 type Tracer struct {
-	engine *sim.Engine
-	spans  []Span
+	engine  *sim.Engine
+	spans   []Span
+	dropped uint64
 }
 
 // NewTracer returns an enabled tracer reading timestamps from e.
@@ -150,18 +151,34 @@ func (t *Tracer) Begin(track, name string, parent SpanID, tags ...Tag) SpanID {
 }
 
 // End closes a span at the current virtual time, appending any extra
-// tags (status, outcome). Ending span 0 or an already-closed span is a
-// no-op, so completion paths need no bookkeeping.
+// tags (status, outcome). Ending span 0 is a silent no-op — disabled
+// tracers hand out 0, so completion paths need no bookkeeping. Ending an
+// unknown, already-ended or non-interval span is also a no-op, but it
+// always indicates an instrumentation bug, so it counts into Dropped.
 func (t *Tracer) End(id SpanID, tags ...Tag) {
-	if t == nil || id <= 0 || int(id) > len(t.spans) {
+	if t == nil || id == 0 {
+		return
+	}
+	if id < 0 || int(id) > len(t.spans) {
+		t.dropped++
 		return
 	}
 	s := &t.spans[id-1]
 	if s.End != openEnd || s.Inst {
+		t.dropped++
 		return
 	}
 	s.End = t.engine.Now()
 	s.Tags = append(s.Tags, tags...)
+}
+
+// Dropped reports how many End calls were discarded because they named
+// an unknown, already-ended or non-interval span — 0 on a healthy run.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
 }
 
 // Emit records a complete span retroactively — used where the interval's

@@ -232,3 +232,32 @@ func TestWriteChrome(t *testing.T) {
 		t.Fatal("two exports of one trace differ")
 	}
 }
+
+// Bogus End calls — unknown IDs, double-ends, ends on instants — are
+// dropped and counted; legitimate ends (including the id-0 sentinel from
+// disabled tracers) never touch the counter.
+func TestEndDroppedCounter(t *testing.T) {
+	e := sim.NewEngine(1)
+	tr := NewTracer(e)
+	id := tr.Begin("c0", "op", 0)
+	tr.End(id)
+	tr.End(0) // disabled-tracer sentinel: silent
+	if tr.Dropped() != 0 {
+		t.Fatalf("clean End sequence dropped %d", tr.Dropped())
+	}
+	tr.End(id, T("again", "1")) // double end
+	tr.End(99)                  // unknown id
+	tr.End(-3)                  // nonsense id
+	inst := tr.Instant("c0", "note", 0)
+	tr.End(inst) // instants have no End
+	if tr.Dropped() != 4 {
+		t.Errorf("Dropped() = %d, want 4", tr.Dropped())
+	}
+	if _, ok := tr.Spans()[id-1].Tag("again"); ok {
+		t.Error("dropped End still appended tags")
+	}
+	var nilTr *Tracer
+	if nilTr.Dropped() != 0 {
+		t.Error("nil tracer reports drops")
+	}
+}

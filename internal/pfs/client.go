@@ -33,7 +33,17 @@ type Client struct {
 type File struct {
 	client *Client
 	meta   *FileMeta
+
+	// spanTags are appended to every pfs.read/pfs.write span this handle
+	// opens (SetSpanTags); mpiio stamps region handles with their RST
+	// region so trace analysis can attribute time by region.
+	spanTags []obs.Tag
 }
+
+// SetSpanTags attaches extra tags to every client-operation span this
+// handle opens. The tags ride only on the trace — untraced runs are
+// untouched, so instrumentation stays differentially invisible.
+func (f *File) SetSpanTags(tags ...obs.Tag) { f.spanTags = tags }
 
 // Meta returns a copy of the cached metadata.
 func (f *File) Meta() FileMeta { return *f.meta }
@@ -264,8 +274,10 @@ func (f *File) beginOp(name string, parent obs.SpanID, off, size int64) (obs.Spa
 	}
 	var span obs.SpanID
 	if tr != nil {
-		span = tr.Begin(f.client.name, name, parent,
-			obs.T("file", f.meta.Name), obs.TInt("off", off), obs.TInt("bytes", size))
+		tags := make([]obs.Tag, 0, 3+len(f.spanTags))
+		tags = append(tags, obs.T("file", f.meta.Name), obs.TInt("off", off), obs.TInt("bytes", size))
+		tags = append(tags, f.spanTags...)
+		span = tr.Begin(f.client.name, name, parent, tags...)
 	}
 	start := fs.engine.Now()
 	return span, func(err error) {

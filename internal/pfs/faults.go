@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"harl/internal/device"
 	"harl/internal/layout"
 	"harl/internal/obs"
 	"harl/internal/sim"
@@ -142,6 +143,17 @@ func (fs *FS) Straggle(server int, factor float64) {
 	s.SlowFactor = factor
 	fs.annotate(s, "fault.straggle",
 		obs.T("factor", strconv.FormatFloat(factor, 'g', -1, 64)))
+}
+
+// ScaleTier applies a straggle factor to every server of one tier — the
+// causal profiler's "what if every HDD were k× faster" knob, driven with
+// factor 1/k before a counterfactual replay's traffic flows.
+func (fs *FS) ScaleTier(role device.Kind, factor float64) {
+	for _, s := range fs.servers {
+		if s.Role() == role {
+			fs.Straggle(s.ID, factor)
+		}
+	}
 }
 
 // annotate drops an instant event on a server's track when tracing is on
