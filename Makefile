@@ -7,9 +7,9 @@ CHAOS_SEED ?= 1
 
 # BENCH_FILE is the snapshot `make bench` writes; benchcheck ignores it
 # and auto-discovers the newest committed BENCH_PR<N>.json instead.
-BENCH_FILE ?= BENCH_PR6.json
+BENCH_FILE ?= BENCH_PR7.json
 
-.PHONY: verify build test race bench vet chaos trace monitor benchcheck
+.PHONY: verify build test race bench vet chaos trace monitor benchcheck enginediff
 
 # verify is the tier-1 gate: everything must pass before a commit lands.
 # benchcheck is advisory (non-fatal): it flags benchmark drift but a
@@ -22,6 +22,7 @@ verify:
 	$(MAKE) chaos
 	$(MAKE) trace
 	$(MAKE) monitor
+	$(MAKE) enginediff
 	@$(MAKE) benchcheck || echo "warning: benchmark drift (non-fatal); refresh $(BENCH_FILE) with 'make bench' if intended"
 
 # monitor runs the online-monitor suite under the race detector plus the
@@ -30,6 +31,14 @@ verify:
 monitor:
 	$(GO) test -race ./internal/monitor ./internal/obs
 	$(GO) test -race -run 'DriftMonitorDifferential|MonitorMatchesRegistry|TracingDisabledDifferential' ./internal/experiments ./internal/mpiio
+
+# enginediff is the timer-wheel acceptance proof: the wheel engine and
+# the retained heap engine must fire the identical event sequence, both
+# on synthetic schedules and replaying full IOR/chaos/drift scenarios,
+# and the deterministic experiment fan-out must be byte-identical at
+# every worker count.
+enginediff:
+	$(GO) test -race -run 'TestWheelHeapDifferential|TestEngineWheelHeap|TestRunParallel|TestParallelSeedSweep' ./internal/sim ./internal/experiments
 
 # benchcheck compares fresh measurements against the newest committed
 # snapshot (benchguard auto-discovers BENCH_PR<N>.json).

@@ -8,7 +8,9 @@
 //	benchguard -check [-file BENCH_PR6.json] [-seed N] [-tol 1.0]
 //
 // -write measures the quick-scale benchmarks — virtual IOR, BTIO and
-// drift end-to-end times plus the Analysis Phase wall-clock — and
+// drift end-to-end times, the Analysis Phase wall-clock, and the
+// ScaleHuge stress run (virtual end, wall-clock ceiling, and the
+// events/second DES throughput, which only flags drops) — and
 // rewrites the file (-file is required, so a new PR's snapshot is named
 // deliberately). -check re-measures and compares against the committed
 // numbers; with no -file it auto-discovers the newest BENCH_PR<N>.json
@@ -42,6 +44,9 @@ type metric struct {
 	Tolerance float64 `json:"tolerance"`
 	// WallClock marks machine-dependent metrics.
 	WallClock bool `json:"wall_clock,omitempty"`
+	// HigherBetter inverts the "good direction" for wall-clock metrics
+	// (throughputs: only drops are regressions).
+	HigherBetter bool `json:"higher_better,omitempty"`
 }
 
 // file is the committed benchmark snapshot.
@@ -62,10 +67,13 @@ func measure(seed int64) (map[string]metric, error) {
 		return nil, err
 	}
 	return map[string]metric{
-		"ior_end_seconds":       {Value: st.IOREndSeconds, Tolerance: 0.01},
-		"btio_end_seconds":      {Value: st.BTIOEndSeconds, Tolerance: 0.01},
-		"drift_end_seconds":     {Value: st.DriftEndSeconds, Tolerance: 0.01},
-		"analysis_wall_seconds": {Value: st.AnalysisWallSeconds, Tolerance: 2.0, WallClock: true},
+		"ior_end_seconds":         {Value: st.IOREndSeconds, Tolerance: 0.01},
+		"btio_end_seconds":        {Value: st.BTIOEndSeconds, Tolerance: 0.01},
+		"drift_end_seconds":       {Value: st.DriftEndSeconds, Tolerance: 0.01},
+		"analysis_wall_seconds":   {Value: st.AnalysisWallSeconds, Tolerance: 2.0, WallClock: true},
+		"scale_huge_end_seconds":  {Value: st.ScaleHugeEndSeconds, Tolerance: 0.01},
+		"scale_huge_wall_seconds": {Value: st.ScaleHugeWallSeconds, Tolerance: 1.0, WallClock: true},
+		"events_per_second":       {Value: st.EventsPerSecond, Tolerance: 0.5, WallClock: true, HigherBetter: true},
 	}, nil
 }
 
@@ -139,6 +147,8 @@ func run(path string, write bool, seed int64, tol float64) error {
 			return err
 		}
 		fmt.Printf("benchguard: wrote %d metrics to %s\n", len(got), path)
+		fmt.Printf("benchguard: DES throughput %.0f events/sec (ScaleHuge, %.2fs wall)\n",
+			got["events_per_second"].Value, got["scale_huge_wall_seconds"].Value)
 		return nil
 	}
 
@@ -167,8 +177,13 @@ func run(path string, write bool, seed int64, tol float64) error {
 		dev := math.Abs(g.Value-w.Value) / w.Value
 		limit := w.Tolerance * tol
 		ok = dev <= limit
-		if w.WallClock && g.Value <= w.Value {
-			// Wall-clock metrics never flag speedups.
+		better := g.Value <= w.Value
+		if w.HigherBetter {
+			better = g.Value >= w.Value
+		}
+		if w.WallClock && better {
+			// Wall-clock metrics only flag moves in the bad direction
+			// (slowdowns, or throughput drops for higher-better).
 			ok = true
 		}
 		status := "ok"

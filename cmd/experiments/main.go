@@ -3,22 +3,27 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-fig 7] [-seed N] [-chaos-seed N]
+//	experiments [-quick] [-fig 7] [-seed N] [-chaos-seed N] [-parallel N]
 //	            [-max-retries N] [-timeout D] [-backoff D] [-hedge-after D]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
-// Without -fig, every figure (1a, 1b, 7, 8, 9, 10, 11, 12), the three
-// ablation studies (ablation-division, ablation-model,
-// ablation-threshold), the fault-injection figures (chaos, hedge), the
-// trace breakdown, the drift-monitor scenario (drift) and the
-// critical-path/what-if validation (critpath) run in order. -chaos-seed
-// replays an exact fault schedule; the retry knobs override the client
-// recovery policy the chaos figures use.
+// Without -fig, every figure in the registry (1a, 1b, 7-12, the
+// ablations, threetier, baselines, chaos, hedge, breakdown, drift,
+// critpath, scalehuge) runs in registry order. -parallel fans the
+// selected figures out over N workers (0 = GOMAXPROCS, 1 = serial);
+// each figure is an independent simulated world, so the printed tables
+// are byte-identical at any worker count. -chaos-seed replays an exact
+// fault schedule; the retry knobs override the client recovery policy
+// the chaos figures use. -cpuprofile/-memprofile write pprof profiles
+// of the whole regeneration run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"harl/internal/experiments"
@@ -27,13 +32,16 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale (128 MB file, class W BTIO)")
-	fig := flag.String("fig", "", "single figure to run: 1a, 1b, 7, 8, 9, 10, 11 or 12")
+	fig := flag.String("fig", "", "single figure to run (see registry list in the doc comment)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed for the chaos figures")
+	parallel := flag.Int("parallel", 1, "figure fan-out workers (0 = GOMAXPROCS, 1 = serial)")
 	maxRetries := flag.Int("max-retries", 0, "override the client retry budget (0 = default)")
 	timeout := flag.Duration("timeout", 0, "override the per-request deadline (0 = default)")
 	backoff := flag.Duration("backoff", 0, "override the retry backoff base (0 = default)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "override the hedged-read threshold (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -55,47 +63,67 @@ func main() {
 		opts.HedgeAfter = sim.Duration(*hedgeAfter)
 	}
 
-	figures := []struct {
-		name string
-		run  func(experiments.Options) (*experiments.Table, error)
-	}{
-		{"1a", experiments.Fig1a},
-		{"1b", experiments.Fig1b},
-		{"7", experiments.Fig7},
-		{"8", experiments.Fig8},
-		{"9", experiments.Fig9},
-		{"10", experiments.Fig10},
-		{"11", experiments.Fig11},
-		{"12", experiments.Fig12},
-		{"ablation-division", experiments.AblationRegionDivision},
-		{"ablation-model", experiments.AblationCostModel},
-		{"ablation-threshold", experiments.AblationThreshold},
-		{"threetier", experiments.ThreeTier},
-		{"baselines", experiments.BaselineComparison},
-		{"chaos", experiments.FigChaos},
-		{"hedge", experiments.FigHedge},
-		{"breakdown", experiments.FigTraceBreakdown},
-		{"drift", experiments.FigDrift},
-		{"critpath", experiments.FigCritPath},
+	figures := experiments.Figures()
+	if *fig != "" {
+		f, ok := experiments.FigureByName(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		figures = []experiments.Figure{f}
 	}
 
-	ran := 0
-	for _, f := range figures {
-		if *fig != "" && *fig != f.name {
-			continue
-		}
-		start := time.Now()
-		table, err := f.run(opts)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", f.name, err)
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(table)
-		fmt.Printf("(figure %s regenerated in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
-		ran++
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
-		os.Exit(2)
+
+	start := time.Now()
+	tables, err := experiments.RunParallel(opts, figures, *parallel)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		exit(1, *cpuprofile, *memprofile)
+	}
+	for i, table := range tables {
+		fmt.Println(table)
+		fmt.Printf("(figure %s)\n\n", figures[i].Name)
+	}
+	fmt.Printf("(%d figure(s) regenerated in %v)\n", len(tables), elapsed.Round(time.Millisecond))
+	writeMemProfile(*memprofile)
+}
+
+// exit flushes any active profiles before terminating, since deferred
+// handlers do not run through os.Exit.
+func exit(code int, cpuprofile, memprofile string) {
+	if cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	writeMemProfile(memprofile)
+	os.Exit(code)
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 	}
 }

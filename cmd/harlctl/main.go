@@ -16,6 +16,11 @@
 //	harlctl critpath [-seed N] [-quick] [-out highlighted.json]
 //	harlctl whatif   [-seed N] [-quick] [-factor 2] [-drift]
 //
+// The global -cpuprofile FILE and -memprofile FILE flags go before the
+// subcommand (harlctl -cpuprofile cpu.out trace ...) and write pprof
+// profiles covering the whole invocation; see README "Profiling the
+// simulator".
+//
 // optimize calibrates the cost model against the default simulated device
 // profiles (the stand-in for probing one real server of each class);
 // -profile prints where the Analysis Phase spent its search budget.
@@ -52,6 +57,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"harl/internal/cost"
 	"harl/internal/device"
@@ -64,11 +71,50 @@ import (
 )
 
 func main() {
+	// Global flags precede the subcommand; flag parsing stops at the
+	// first non-flag argument, which is the subcommand itself.
+	global := flag.NewFlagSet("harlctl", flag.ExitOnError)
+	cpuprofile := global.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	memprofile := global.String("memprofile", "", "write a heap profile to this file on exit")
+	global.Parse(os.Args[1:])
+
 	cmd, args := "", []string(nil)
-	if len(os.Args) >= 2 {
-		cmd, args = os.Args[1], os.Args[2:]
+	if rest := global.Args(); len(rest) >= 1 {
+		cmd, args = rest[0], rest[1:]
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harlctl: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "harlctl: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	err := dispatch(cmd, args)
+
+	// Flush profiles before any os.Exit path below.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "harlctl: %v\n", ferr)
+		} else {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintf(os.Stderr, "harlctl: %v\n", werr)
+			}
+			f.Close()
+		}
+	}
+
 	var code exitCode
 	if errors.As(err, &code) {
 		// The command already printed its verdict; the code is the

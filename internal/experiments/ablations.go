@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"harl/internal/cluster"
 	"harl/internal/cost"
 	"harl/internal/harl"
 	"harl/internal/region"
@@ -23,8 +22,7 @@ func AblationRegionDivision(o Options) (*Table, error) {
 		Title:   "Ablation: region division strategy (non-uniform workload)",
 		Columns: []string{"read MB/s", "write MB/s", "regions"},
 	}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	mcfg := o.multiConfig()
 	params, err := calibrated(clusterCfg, o.Probes)
 	if err != nil {
@@ -91,8 +89,7 @@ func AblationCostModel(o Options) (*Table, error) {
 		Title:   "Ablation: cost model terms (16 procs, 128KB requests)",
 		Columns: []string{"read MB/s", "write MB/s"},
 	}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	cfg := o.iorConfig(o.Ranks, 128<<10)
 	params, err := calibrated(clusterCfg, o.Probes)
 	if err != nil {
@@ -136,8 +133,7 @@ func AblationThreshold(o Options) (*Table, error) {
 		Title:   "Ablation: CV threshold vs region count (non-uniform workload)",
 		Columns: []string{"regions", "read MB/s", "write MB/s"},
 	}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	mcfg := o.multiConfig()
 	params, err := calibrated(clusterCfg, o.Probes)
 	if err != nil {

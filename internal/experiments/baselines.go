@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"harl/internal/baselines"
-	"harl/internal/cluster"
 	"harl/internal/harl"
 )
 
@@ -18,8 +17,7 @@ func BaselineComparison(o Options) (*Table, error) {
 		Title:   "Baseline: HARL vs CARL-style region placement (non-uniform workload)",
 		Columns: []string{"read MB/s", "write MB/s", "SSD bytes %"},
 	}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	mcfg := o.multiConfig()
 	params, err := calibrated(clusterCfg, o.Probes)
 	if err != nil {

@@ -28,6 +28,15 @@ type BenchStats struct {
 	// (unmonitored) shifted drift scenario — the what-if engine's
 	// baseline workload.
 	DriftEndSeconds float64
+	// ScaleHugeEndSeconds is the virtual finishing time of the
+	// 1024-server / 1M-event ScaleHuge scenario (deterministic).
+	ScaleHugeEndSeconds float64
+	// ScaleHugeWallSeconds is the real time ScaleHuge's event loop took
+	// (machine-dependent, slowdown-guarded only).
+	ScaleHugeWallSeconds float64
+	// EventsPerSecond is ScaleHuge's processed-event throughput — the
+	// per-PR perf trajectory number `make bench` prints.
+	EventsPerSecond float64
 }
 
 // BenchSnapshot measures the tracked benchmark numbers at the given
@@ -52,8 +61,7 @@ func BenchSnapshot(o Options) (BenchStats, error) {
 	st.AnalysisWallSeconds = time.Since(t0).Seconds()
 
 	// Fixed-stripe BTIO at this option set's class.
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	tb, err := cluster.New(clusterCfg)
 	if err != nil {
 		return st, err
@@ -80,5 +88,14 @@ func BenchSnapshot(o Options) (BenchStats, error) {
 		return st, err
 	}
 	st.DriftEndSeconds = drift.End.Sub(0).Seconds()
+
+	// ScaleHuge: the engine-scale scenario, timed on the host clock.
+	huge, err := RunScaleHuge(o.Seed)
+	if err != nil {
+		return st, err
+	}
+	st.ScaleHugeEndSeconds = huge.EndSeconds
+	st.ScaleHugeWallSeconds = huge.WallSeconds
+	st.EventsPerSecond = huge.EventsPerSec
 	return st, nil
 }

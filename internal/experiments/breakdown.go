@@ -57,8 +57,7 @@ func TraceIOR(o Options) (*TraceRun, error) {
 // differential test can run the identical workload bare and compare
 // results event-for-event.
 func traceIOR(o Options, instrument bool) (*TraceRun, error) {
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	params, err := calibrated(clusterCfg, o.Probes)
 	if err != nil {
 		return nil, err
@@ -77,8 +76,7 @@ func traceIOR(o Options, instrument bool) (*TraceRun, error) {
 // for virtually scaling a resource. With a nil adjust and instrument
 // false this is the exact bare replay of the seeded scenario.
 func placedIOR(o Options, params cost.Params, plan *harl.Plan, cfg ior.Config, instrument bool, adjust func(*cluster.Testbed)) (*TraceRun, error) {
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	tb, err := cluster.New(clusterCfg)
 	if err != nil {
 		return nil, err

@@ -120,8 +120,7 @@ func runChaosIOR(o Options, policy pfs.Policy, withFaults bool) (ChaosResult, er
 	reqSize := chaosRequestSize(co.FileSize)
 	cfg := co.iorConfig(co.Ranks, reqSize)
 
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 
 	// Plan the layout from the workload trace, exactly as the fault-free
 	// figures do.
@@ -328,8 +327,7 @@ func runHedgeScan(o Options, hedged bool, dropP float64) (hedgeRun, error) {
 	fileSize := chaosFileSize(o.FileSize)
 	const reqSize = 64 << 10
 
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	tb, err := cluster.New(clusterCfg)
 	if err != nil {
 		return hedgeRun{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"testing"
@@ -26,14 +27,25 @@ func chaosSeeds(t *testing.T) []int64 {
 // failed op surfaced an error, and nothing hung (the retry policy rides
 // out every episode).
 func TestChaosIntegrityUnderSeededChaos(t *testing.T) {
-	o := QuickOptions()
-	var activity uint64
-	for _, seed := range chaosSeeds(t) {
-		o.ChaosSeed = seed
+	seeds := chaosSeeds(t)
+	results := make([]ChaosResult, len(seeds))
+	// Each seed is an independent simulated world — the sweep fans out
+	// on the same primitive the figure runner uses.
+	if err := Parallel(0, len(seeds), func(i int) error {
+		o := QuickOptions()
+		o.ChaosSeed = seeds[i]
 		res, err := runChaosIOR(o, o.clientPolicy(), true)
 		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
+			return fmt.Errorf("seed %d: %w", seeds[i], err)
 		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var activity uint64
+	for i, res := range results {
+		seed := seeds[i]
 		if res.IntegrityViolations != 0 {
 			t.Errorf("seed %d: %d acked ranges failed verification\nfaults:\n%s",
 				seed, res.IntegrityViolations, res.FaultLog)

@@ -145,8 +145,7 @@ func runDrift(o Options, shift, monitored bool) (*DriftRun, error) {
 // ("what if this resource were faster"). Both nil reproduce runDrift
 // exactly, event for event.
 func runDriftWith(o Options, shift, monitored bool, override map[int]harl.StripePair, adjust func(*cluster.Testbed)) (*DriftRun, error) {
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	params, err := calibrated(clusterCfg, o.Probes)
 	if err != nil {
 		return nil, err

@@ -15,15 +15,30 @@ import (
 // re-optimization of the post-shift stream; the control run — identical
 // but never shifting — stays healthy throughout.
 func TestDriftDetectionAndAdvice(t *testing.T) {
-	for seed := int64(1); seed <= 3; seed++ {
-		t.Run("seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
-			o := QuickOptions()
-			o.Seed = seed
-
-			run, err := RunDrift(o, true)
-			if err != nil {
-				t.Fatal(err)
-			}
+	// The three seeded worlds are independent; fan them out on the
+	// experiments worker pool, then assert serially on the main
+	// goroutine.
+	type pair struct{ run, control *DriftRun }
+	runs := make([]pair, 3)
+	if err := Parallel(0, len(runs), func(i int) error {
+		o := QuickOptions()
+		o.Seed = int64(i + 1)
+		run, err := RunDrift(o, true)
+		if err != nil {
+			return err
+		}
+		control, err := RunDrift(o, false)
+		if err != nil {
+			return err
+		}
+		runs[i] = pair{run, control}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range runs {
+		t.Run("seed"+strconv.Itoa(i+1), func(t *testing.T) {
+			run, control := p.run, p.control
 			cfg := run.Monitor.Config()
 			lat := run.DetectionLatency()
 			if lat < 0 {
@@ -49,10 +64,6 @@ func TestDriftDetectionAndAdvice(t *testing.T) {
 				t.Errorf("advice gain %v not positive", adv.Gain)
 			}
 
-			control, err := RunDrift(o, false)
-			if err != nil {
-				t.Fatal(err)
-			}
 			if !control.Report.Healthy() {
 				t.Errorf("control run flagged stale: %+v", control.Report.Regions)
 			}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEngineWheelHeapIORDifferential replays the instrumented IOR
+// scenario on the timer-wheel engine and the retained heap-reference
+// engine: final virtual time, throughput result, processed-event count
+// and the exported Chrome trace must be byte-identical. This is the
+// whole-stack determinism proof behind the queue swap — every committed
+// golden in the repo rests on it.
+func TestEngineWheelHeapIORDifferential(t *testing.T) {
+	o := QuickOptions()
+	run := func(heap bool) (*TraceRun, []byte) {
+		oo := o
+		oo.HeapEngine = heap
+		r, err := TraceIOR(oo)
+		if err != nil {
+			t.Fatalf("heap=%v: %v", heap, err)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteChrome(&buf); err != nil {
+			t.Fatalf("heap=%v: %v", heap, err)
+		}
+		return r, buf.Bytes()
+	}
+	wheel, wheelTrace := run(false)
+	heap, heapTrace := run(true)
+	if wheel.End != heap.End {
+		t.Errorf("end time diverged: wheel %v, heap %v", wheel.End, heap.End)
+	}
+	if wheel.Result != heap.Result {
+		t.Errorf("IOR result diverged:\n wheel %+v\n heap  %+v", wheel.Result, heap.Result)
+	}
+	if !bytes.Equal(wheelTrace, heapTrace) {
+		t.Errorf("Chrome traces differ: wheel %d bytes, heap %d bytes", len(wheelTrace), len(heapTrace))
+	}
+}
+
+// TestEngineWheelHeapDriftDifferential replays the bare shifted drift
+// scenario on both engines: end time, processed events and acknowledged
+// bytes must match exactly.
+func TestEngineWheelHeapDriftDifferential(t *testing.T) {
+	o := QuickOptions()
+	wheel, err := runDrift(o, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.HeapEngine = true
+	heap, err := runDrift(o, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wheel.End != heap.End {
+		t.Errorf("end time diverged: wheel %v, heap %v", wheel.End, heap.End)
+	}
+	if wheel.Events != heap.Events {
+		t.Errorf("processed events diverged: wheel %d, heap %d", wheel.Events, heap.Events)
+	}
+	if wheel.Bytes != heap.Bytes {
+		t.Errorf("acknowledged bytes diverged: wheel %d, heap %d", wheel.Bytes, heap.Bytes)
+	}
+}
+
+// TestEngineWheelHeapChaosDifferential replays the seeded chaos
+// scenario — timers, retries, hedges, epoch drops all ride the event
+// queue — on both engines and requires identical results.
+func TestEngineWheelHeapChaosDifferential(t *testing.T) {
+	o := QuickOptions()
+	wheel, err := runChaosIOR(o, o.clientPolicy(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.HeapEngine = true
+	heap, err := runChaosIOR(o, o.clientPolicy(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wheel != heap {
+		t.Errorf("chaos results diverged:\n wheel %+v\n heap  %+v", wheel, heap)
+	}
+	if wheel.Faults.Retries == 0 && wheel.Faults.Dropped == 0 {
+		t.Error("differential run saw no fault activity — comparison is vacuous")
+	}
+}

@@ -16,8 +16,7 @@ import (
 // server's accumulated disk I/O time normalized to the fastest server.
 // The paper observes HServers at roughly 350% of SServer time.
 func Fig1a(o Options) (*Table, error) {
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	cfg := o.iorConfig(o.Ranks, 512<<10)
 
 	tb, err := cluster.New(clusterCfg)
@@ -64,8 +63,7 @@ func Fig1b(o Options) (*Table, error) {
 		cols[i] = fmt.Sprintf("%dK", s>>10)
 	}
 	t := &Table{Title: "Fig 1(b): IOR throughput, request size x stripe size (MB/s)", Columns: cols}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	for _, reqSize := range []int64{128 << 10, 512 << 10, 1 << 20, 2 << 20} {
 		values := make([]float64, len(stripes))
 		for i, stripe := range stripes {

@@ -16,8 +16,7 @@ import (
 // The column is the aggregate (write+read) throughput the paper plots.
 func Fig12(o Options) (*Table, error) {
 	t := &Table{Title: "Fig 12: BTIO aggregate throughput", Columns: []string{"MB/s"}}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 
 	for _, procs := range []int{4, 16, 64} {
 		cfg := o.BTIOClass(procs)

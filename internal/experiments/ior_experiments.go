@@ -70,8 +70,7 @@ func runIORHARL(clusterCfg cluster.Config, cfg ior.Config, rst harl.RST) (ior.Re
 // optimized per operation, as in the paper.
 func Fig7(o Options) (*Table, error) {
 	t := &Table{Title: "Fig 7: IOR throughput by layout (16 procs, 512KB)", Columns: []string{"read MB/s", "write MB/s"}}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	cfg := o.iorConfig(o.Ranks, 512<<10)
 
 	for _, stripe := range o.FixedStripes {
@@ -120,8 +119,7 @@ func Fig8(o Options) (*Table, error) {
 			"rand read", "rand write", "HARL read", "HARL write",
 		},
 	}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	randPair := o.randomPairs()[0]
 	for _, procs := range []int{8, 32, 128, 256} {
 		cfg := o.iorConfig(procs, 512<<10)
@@ -164,8 +162,7 @@ func Fig9(o Options) (*Table, error) {
 		Title:   "Fig 9: IOR throughput by request size (16 procs)",
 		Columns: []string{"read MB/s", "write MB/s"},
 	}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	for _, reqSize := range []int64{128 << 10, 1024 << 10} {
 		cfg := o.iorConfig(o.Ranks, reqSize)
 		for _, stripe := range o.FixedStripes {
@@ -197,8 +194,7 @@ func Fig10(o Options) (*Table, error) {
 		Columns: []string{"read MB/s", "write MB/s"},
 	}
 	for _, ratio := range [][2]int{{7, 1}, {6, 2}, {2, 6}} {
-		clusterCfg := cluster.WithRatio(ratio[0], ratio[1])
-		clusterCfg.Seed = o.Seed
+		clusterCfg := o.clusterRatio(ratio[0], ratio[1])
 		cfg := o.iorConfig(o.Ranks, 512<<10)
 		def, err := runIORFixed(clusterCfg, cfg, harl.StripePair{H: 64 << 10, S: 64 << 10})
 		if err != nil {
@@ -227,8 +223,7 @@ func Fig11(o Options) (*Table, error) {
 		Title:   "Fig 11: non-uniform four-region IOR",
 		Columns: []string{"read MB/s", "write MB/s", "regions"},
 	}
-	clusterCfg := cluster.Default()
-	clusterCfg.Seed = o.Seed
+	clusterCfg := o.clusterDefault()
 	mcfg := o.multiConfig()
 
 	for _, stripe := range o.FixedStripes {

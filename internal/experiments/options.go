@@ -63,6 +63,28 @@ type Options struct {
 	// ChaosSeed identifies the fault schedule chaos experiments inject;
 	// replaying a seed replays the exact fault sequence and metrics.
 	ChaosSeed int64
+
+	// HeapEngine runs every testbed on the retained binary-heap
+	// reference engine instead of the timer wheel. Figures must be
+	// byte-identical either way; the engine differential test flips it.
+	HeapEngine bool
+}
+
+// clusterDefault is the paper's default testbed configured by this
+// option set — the single place Seed and the engine choice are applied.
+func (o Options) clusterDefault() cluster.Config {
+	cfg := cluster.Default()
+	cfg.Seed = o.Seed
+	cfg.HeapEngine = o.HeapEngine
+	return cfg
+}
+
+// clusterRatio is clusterDefault with a different HServer:SServer ratio.
+func (o Options) clusterRatio(h, s int) cluster.Config {
+	cfg := o.clusterDefault()
+	cfg.HServers = h
+	cfg.SServers = s
+	return cfg
 }
 
 // clientPolicy maps the option knobs onto the pfs client policy.

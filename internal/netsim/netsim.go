@@ -49,6 +49,11 @@ type Network struct {
 	// Transfers and BytesMoved account all traffic for reports.
 	Transfers  uint64
 	BytesMoved int64
+
+	// xfer free list (xfer.go): pooled transfer records so the wire hot
+	// path is allocation-free.
+	freeXfers   *xfer
+	xfersPooled int
 }
 
 // New creates an empty network on the given engine.
@@ -158,22 +163,17 @@ func (n *Network) TransferSpan(parent obs.SpanID, from, to *Node, size int64, do
 	}
 	n.Transfers++
 	n.BytesMoved += size
-	tr := n.tracer
+
+	x := n.allocXfer()
+	x.n, x.parent, x.from, x.to, x.size = n, parent, from, to, size
+	x.submit, x.done = n.engine.Now(), done
 
 	if from == to {
-		submit := n.engine.Now()
-		n.engine.Schedule(n.cfg.Latency, func() {
-			if tr != nil {
-				tr.Emit(to.track, "xfer", parent, submit, n.engine.Now(),
-					obs.T("src", from.name), obs.T("dst", to.name),
-					obs.TInt("bytes", size), obs.T("loopback", "1"))
-			}
-			n.finish(done)
-		})
+		x.loopback = true
+		n.engine.ScheduleCall(n.cfg.Latency, xferDone, x)
 		return
 	}
 
-	submit := n.engine.Now()
 	wire := sim.BytesDuration(size, n.cfg.Bandwidth)
 	// The frame stream is pipelined cut-through: the receiver's lane
 	// carries the same bytes one propagation delay behind the sender's,
@@ -182,15 +182,8 @@ func (n *Network) TransferSpan(parent obs.SpanID, from, to *Node, size int64, do
 	// in wire + latency, and concurrent transfers serialize exactly where
 	// they physically share a lane.
 	txStart, _ := from.tx.Use(wire, nil)
-	to.rx.UseAt(txStart.Add(n.cfg.Latency), wire, func(_, rxEnd sim.Time) {
-		if tr != nil {
-			tr.Emit(to.track, "xfer", parent, submit, rxEnd,
-				obs.T("src", from.name), obs.T("dst", to.name),
-				obs.TInt("bytes", size),
-				obs.TInt("tx_wait_ns", int64(txStart.Sub(submit))))
-		}
-		n.finish(done)
-	})
+	x.txStart = txStart
+	to.rx.UseCallAt(txStart.Add(n.cfg.Latency), wire, xferDone, x)
 }
 
 func (n *Network) finish(done func(at sim.Time)) {

@@ -111,30 +111,11 @@ func (s *Server) serve(op device.Op, fileID uint64, local int64, data []byte, si
 		return
 	}
 	service := s.scale(s.Dev.ServiceTime(op, local, size, s.fs.engine.Rand()))
-	submit := s.fs.engine.Now()
+	o := s.fs.allocOp()
+	o.s, o.op, o.fileID, o.local, o.data, o.size = s, op, fileID, local, data, size
+	o.parent, o.submit, o.epoch, o.done = parent, s.fs.engine.Now(), epoch, done
 	s.enqueue()
-	s.disk.Use(service, func(start, end sim.Time) {
-		s.observeDisk(op, parent, submit, start, end, size)
-		err, ok := s.deliver(epoch)
-		if !ok {
-			return
-		}
-		if err != nil {
-			done(nil, err)
-			return
-		}
-		obj := s.object(fileID)
-		if op == device.Write {
-			before := obj.Bytes()
-			obj.WriteAt(data, local)
-			s.stored += obj.Bytes() - before
-			done(nil, nil)
-			return
-		}
-		buf := make([]byte, size)
-		obj.ReadAt(buf, local)
-		done(buf, nil)
-	})
+	s.disk.UseCall(service, diskOpDone, o)
 }
 
 // FileMeta is the metadata server's record of one file.
@@ -161,6 +142,11 @@ type FS struct {
 	files   map[string]*FileMeta
 	nextID  uint64
 	health  []Health
+
+	// diskOp free list (diskop.go): pooled sub-request records so the
+	// serve hot path is allocation-free.
+	freeOps   *diskOp
+	opsPooled int
 
 	// MDSLookups counts metadata RPCs for overhead reports.
 	MDSLookups uint64

@@ -83,14 +83,9 @@ func (s *Server) servePhantom(op device.Op, local, size int64, parent obs.SpanID
 		return
 	}
 	service := s.scale(s.Dev.ServiceTime(op, local, size, s.fs.engine.Rand()))
-	submit := s.fs.engine.Now()
+	o := s.fs.allocOp()
+	o.s, o.op, o.local, o.size = s, op, local, size
+	o.parent, o.submit, o.epoch, o.pdone = parent, s.fs.engine.Now(), epoch, done
 	s.enqueue()
-	s.disk.Use(service, func(start, end sim.Time) {
-		s.observeDisk(op, parent, submit, start, end, size)
-		err, ok := s.deliver(epoch)
-		if !ok {
-			return
-		}
-		done(err)
-	})
+	s.disk.UseCall(service, diskOpDone, o)
 }

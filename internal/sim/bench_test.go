@@ -2,10 +2,7 @@ package sim
 
 import "testing"
 
-// BenchmarkEngineEventThroughput measures raw event dispatch rate — the
-// budget every simulated component spends from.
-func BenchmarkEngineEventThroughput(b *testing.B) {
-	e := NewEngine(1)
+func benchEventThroughput(b *testing.B, e *Engine) {
 	n := 0
 	var tick func()
 	tick = func() {
@@ -19,10 +16,20 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 	e.Run()
 }
 
-// BenchmarkEngineHeapChurn stresses the event heap with out-of-order
-// scheduling, the pattern striped I/O produces.
-func BenchmarkEngineHeapChurn(b *testing.B) {
-	e := NewEngine(1)
+// BenchmarkEngineEventThroughput measures raw event dispatch rate — the
+// budget every simulated component spends from.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	benchEventThroughput(b, NewEngine(1))
+}
+
+// BenchmarkEngineEventThroughputHeap is the same workload on the
+// retained heap-reference engine (per-event allocation, binary heap) —
+// the pre-wheel baseline the speedup claims compare against.
+func BenchmarkEngineEventThroughputHeap(b *testing.B) {
+	benchEventThroughput(b, NewHeapEngine(1))
+}
+
+func benchHeapChurn(b *testing.B, e *Engine) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if e.Pending() < 1024 {
@@ -33,6 +40,18 @@ func BenchmarkEngineHeapChurn(b *testing.B) {
 		}
 	}
 	e.Run()
+}
+
+// BenchmarkEngineHeapChurn stresses the event queue with out-of-order
+// scheduling, the pattern striped I/O produces.
+func BenchmarkEngineHeapChurn(b *testing.B) {
+	benchHeapChurn(b, NewEngine(1))
+}
+
+// BenchmarkEngineHeapChurnHeap is the churn workload on the
+// heap-reference engine baseline.
+func BenchmarkEngineHeapChurnHeap(b *testing.B) {
+	benchHeapChurn(b, NewHeapEngine(1))
 }
 
 // BenchmarkResourceUse measures the FIFO queue's reservation cost.

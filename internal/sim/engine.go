@@ -1,43 +1,44 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
 // event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (seq), which keeps runs deterministic.
+// scheduling order (seq), which keeps runs deterministic. Records are
+// pooled on a free list and recycled when they fire, so the steady
+// scheduling path does not allocate; exactly one of fn, dfn, cfn is
+// set. dfn and cfn carry a precomputed (start, end) span — and cfn one
+// caller argument — so completion callbacks need no closure either.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	next  *event // intrusive link: wheel bucket chain, then free list
+	at    Time
+	seq   uint64
+	fn    func()
+	dfn   func(start, end Time)
+	cfn   func(arg any, start, end Time)
+	arg   any
+	start Time
+	end   Time
 }
 
-// eventHeap implements container/heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is the priority-queue contract the engine runs on: pop and
+// peek always yield the globally minimal (at, seq) event. The
+// production implementation is the hierarchical timer wheel; a plain
+// binary heap is retained as a reference for differential tests.
+type eventQueue interface {
+	push(*event)
+	pop() *event
+	peek() (Time, bool)
+	len() int
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+// EventPoolCap bounds the engine's event free list. Recycled records
+// beyond the cap are dropped to the garbage collector, so a burst that
+// once had millions of events in flight does not pin that memory for
+// the rest of the run.
+const EventPoolCap = 1 << 14
 
 // Engine is a deterministic discrete-event simulator. It is not safe for
 // concurrent use: all simulated components run on the single virtual
@@ -45,9 +46,15 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	q       eventQueue
 	rng     *rand.Rand
 	stopped bool
+
+	free      *event // recycled event records
+	pooled    int
+	poolCap   int
+	poolHW    int
+	poolDrops uint64
 
 	// Processed counts events executed since construction; useful for
 	// cost accounting and runaway detection in tests.
@@ -57,7 +64,23 @@ type Engine struct {
 // NewEngine returns an engine whose random source is seeded with seed.
 // The same seed always yields the same simulation.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{
+		rng:     rand.New(rand.NewSource(seed)),
+		q:       &wheelQueue{},
+		poolCap: EventPoolCap,
+	}
+}
+
+// NewHeapEngine returns an engine driven by the retained binary-heap
+// reference queue, with event pooling disabled so every schedule
+// allocates — the pre-wheel implementation, kept as the baseline for
+// differential determinism tests and benchmarks. Behavior must be
+// bit-identical to NewEngine for any workload.
+func NewHeapEngine(seed int64) *Engine {
+	return &Engine{
+		rng: rand.New(rand.NewSource(seed)),
+		q:   &heapQueue{},
+	}
 }
 
 // Now returns the current virtual time.
@@ -68,6 +91,46 @@ func (e *Engine) Now() Time { return e.now }
 // draw from this source, never from the global rand, so that a simulation
 // is reproducible from its seed alone.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+func (e *Engine) allocEvent(at Time) *event {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		e.pooled--
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	e.seq++
+	ev.at, ev.seq = at, e.seq
+	return ev
+}
+
+// recycle returns a fired event record to the pool. Callback fields are
+// nilled first so a pooled record never retains a closure (or whatever
+// the closure captured) across its idle time, and the pool is capped so
+// peak in-flight bursts do not pin memory forever.
+func (e *Engine) recycle(ev *event) {
+	ev.fn, ev.dfn, ev.cfn, ev.arg = nil, nil, nil, nil
+	ev.start, ev.end = 0, 0
+	if e.pooled >= e.poolCap {
+		e.poolDrops++
+		return
+	}
+	ev.next = e.free
+	e.free = ev
+	e.pooled++
+	if e.pooled > e.poolHW {
+		e.poolHW = e.pooled
+	}
+}
+
+// PoolStats reports the event pool's current size, its high-water mark,
+// and how many records were dropped at the cap — the observability hook
+// for the pool-shrink guarantee.
+func (e *Engine) PoolStats() (pooled, highWater int, drops uint64) {
+	return e.pooled, e.poolHW, e.poolDrops
+}
 
 // Schedule runs fn after delay of virtual time. A negative delay panics:
 // scheduling into the past is always a modelling bug.
@@ -87,25 +150,86 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	ev := e.allocEvent(at)
+	ev.fn = fn
+	e.q.push(ev)
+}
+
+// scheduleSpan schedules done(start, end) at time at. The span rides in
+// the pooled event record, so completion callbacks that only need their
+// reservation window (Resource.UseAt) cost no closure allocation.
+func (e *Engine) scheduleSpan(at Time, start, end Time, done func(start, end Time)) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if done == nil {
+		panic("sim: nil event function")
+	}
+	ev := e.allocEvent(at)
+	ev.dfn = done
+	ev.start, ev.end = start, end
+	e.q.push(ev)
+}
+
+// ScheduleCallAt schedules fn(arg, start, end) at absolute time at.
+// Passing a package-level function and a pooled arg keeps the call
+// allocation-free; it is the closure-free form of ScheduleAt for
+// callers that need one word of context plus a time span.
+func (e *Engine) ScheduleCallAt(at Time, fn func(arg any, start, end Time), arg any, start, end Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := e.allocEvent(at)
+	ev.cfn = fn
+	ev.arg = arg
+	ev.start, ev.end = start, end
+	e.q.push(ev)
+}
+
+// ScheduleCall is ScheduleCallAt after delay of virtual time; start and
+// end are both the fire time.
+func (e *Engine) ScheduleCall(delay Duration, fn func(arg any, start, end Time), arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	at := e.now.Add(delay)
+	e.ScheduleCallAt(at, fn, arg, at, at)
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// dispatch fires one event. The record is recycled before the callback
+// runs — the callback may schedule new events, which can legitimately
+// reuse the record it was carried by.
+func (e *Engine) dispatch(ev *event) {
+	e.now = ev.at
+	e.Processed++
+	fn, dfn, cfn := ev.fn, ev.dfn, ev.cfn
+	arg, start, end := ev.arg, ev.start, ev.end
+	e.recycle(ev)
+	switch {
+	case fn != nil:
+		fn()
+	case dfn != nil:
+		dfn(start, end)
+	default:
+		cfn(arg, start, end)
+	}
+}
 
 // Run executes events in timestamp order until the queue drains or Stop is
 // called, and returns the final virtual time.
 func (e *Engine) Run() Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
+	for e.q.len() > 0 && !e.stopped {
+		e.dispatch(e.q.pop())
 	}
 	return e.now
 }
@@ -117,14 +241,12 @@ func (e *Engine) Run() Time {
 // the deadline is only claimed when the drain ran to completion.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > deadline {
+	for e.q.len() > 0 && !e.stopped {
+		at, _ := e.q.peek()
+		if at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
+		e.dispatch(e.q.pop())
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline

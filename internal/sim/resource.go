@@ -45,6 +45,34 @@ func (r *Resource) Use(service Duration, done func(start, end Time)) (start, end
 // across resources — e.g. a network transfer that occupies the receiver's
 // lane one propagation delay after the sender's.
 func (r *Resource) UseAt(earliest Time, service Duration, done func(start, end Time)) (start, end Time) {
+	start, end = r.reserve(earliest, service)
+	if done != nil {
+		r.engine.scheduleSpan(end, start, end, done)
+	}
+	return start, end
+}
+
+// UseCall is Use with a closure-free completion: fn(arg, start, end)
+// fires at end. With a package-level fn and a pooled arg the whole
+// reservation allocates nothing, which is what the per-request hot
+// paths in pfs and netsim run on.
+func (r *Resource) UseCall(service Duration, fn func(arg any, start, end Time), arg any) (start, end Time) {
+	return r.UseCallAt(r.engine.Now(), service, fn, arg)
+}
+
+// UseCallAt is UseAt with a closure-free completion callback.
+func (r *Resource) UseCallAt(earliest Time, service Duration, fn func(arg any, start, end Time), arg any) (start, end Time) {
+	start, end = r.reserve(earliest, service)
+	if fn != nil {
+		r.engine.ScheduleCallAt(end, fn, arg, start, end)
+	}
+	return start, end
+}
+
+// reserve claims the earliest-available slot from earliest for service
+// time and updates accounting; it is the queueing core shared by every
+// Use variant.
+func (r *Resource) reserve(earliest Time, service Duration) (start, end Time) {
 	if service < 0 {
 		panic(fmt.Sprintf("sim: resource %q negative service %v", r.name, service))
 	}
@@ -69,10 +97,6 @@ func (r *Resource) UseAt(earliest Time, service Duration, done func(start, end T
 	r.Served++
 	r.BusyTotal += service
 	r.WaitTotal += start.Sub(earliest)
-
-	if done != nil {
-		r.engine.ScheduleAt(end, func() { done(start, end) })
-	}
 	return start, end
 }
 
