@@ -7,9 +7,9 @@ CHAOS_SEED ?= 1
 
 # BENCH_FILE is the snapshot `make bench` writes; benchcheck ignores it
 # and auto-discovers the newest committed BENCH_PR<N>.json instead.
-BENCH_FILE ?= BENCH_PR7.json
+BENCH_FILE ?= BENCH_PR8.json
 
-.PHONY: verify build test race bench vet chaos trace monitor benchcheck enginediff
+.PHONY: verify build test race bench vet chaos trace monitor benchcheck enginediff repl
 
 # verify is the tier-1 gate: everything must pass before a commit lands.
 # benchcheck is advisory (non-fatal): it flags benchmark drift but a
@@ -20,6 +20,7 @@ verify:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) repl
 	$(MAKE) trace
 	$(MAKE) monitor
 	$(MAKE) enginediff
@@ -51,6 +52,14 @@ benchcheck:
 chaos:
 	@CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run 'Chaos|Hedge|Fault|Flaky|Crash|Restripe|Straggle|Watchdog' ./internal/... \
 		|| { echo "chaos suite failed; reproduce with: make chaos CHAOS_SEED=$(CHAOS_SEED)"; exit 1; }
+
+# repl runs the replication suite under the race detector: chain/quorum
+# write integrity under replica-targeted crash schedules (seeds 1-3 x
+# {crash, double-crash, recovery-overlap} x r in {2,3}), view changes
+# and catch-up, the r=1 event-for-event differential against the legacy
+# protocol, and the replica/view status CLI.
+repl:
+	$(GO) test -race -run 'Repl' ./internal/repl ./internal/pfs ./internal/faults ./internal/harl ./internal/cost ./internal/mpiio ./internal/experiments ./cmd/harlctl
 
 # trace is the observability golden check: two same-seed instrumented
 # runs must export byte-identical Chrome traces and metrics dumps.

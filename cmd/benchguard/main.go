@@ -74,6 +74,9 @@ func measure(seed int64) (map[string]metric, error) {
 		"scale_huge_end_seconds":  {Value: st.ScaleHugeEndSeconds, Tolerance: 0.01},
 		"scale_huge_wall_seconds": {Value: st.ScaleHugeWallSeconds, Tolerance: 1.0, WallClock: true},
 		"events_per_second":       {Value: st.EventsPerSecond, Tolerance: 0.5, WallClock: true, HigherBetter: true},
+		"repl_r1_write_seconds":   {Value: st.ReplR1WriteSeconds, Tolerance: 0.01},
+		"repl_r2_write_seconds":   {Value: st.ReplR2WriteSeconds, Tolerance: 0.01},
+		"repl_recovery_seconds":   {Value: st.ReplRecoverySeconds, Tolerance: 0.01},
 	}, nil
 }
 

@@ -12,7 +12,7 @@
 //	harlctl trace    [-out trace.json] [-metrics-out metrics.txt] [-seed N] [-quick]
 //	harlctl metrics  [-seed N] [-quick]
 //	harlctl monitor  [-seed N] [-quick] [-shift=false]
-//	harlctl health   [-seed N] [-quick] [-shift=false]
+//	harlctl health   [-seed N] [-quick] [-shift=false] [-repl]
 //	harlctl critpath [-seed N] [-quick] [-out highlighted.json]
 //	harlctl whatif   [-seed N] [-quick] [-factor 2] [-drift]
 //
@@ -39,7 +39,10 @@
 // with the online region-workload monitor attached, and prints its
 // layout-health report: per-region drift scores, staleness verdicts and
 // replan advice. health is the scriptable variant: one line and exit
-// code 0 (on plan) or 1 (some region stale).
+// code 0 (on plan) or 1 (some region stale); health -repl reports
+// per-region replica/view status (views, serving members, catch-up lag)
+// from the replicated demo scenario instead, with exit code 1 if any
+// replica group has lost every member.
 // critpath runs the instrumented IOR baseline, extracts the critical
 // path from the trace, and prints the blame table — virtual time on the
 // blocking chain by kind, server, tier, region and phase; -out also
@@ -456,9 +459,36 @@ func cmdMonitor(args []string) error {
 }
 
 // cmdHealth is the scriptable variant: one status line, exit code 0 when
-// every region is still on plan and 1 when any region is stale.
+// every region is still on plan and 1 when any region is stale. With
+// -repl it instead reports per-region replica/view status from the
+// replicated demo scenario (a crashed primary mid-write): exit code 0
+// while every replica group still has a serving member, 1 otherwise.
 func cmdHealth(args []string) error {
-	run, err := monitorRun(flag.NewFlagSet("health", flag.ExitOnError), args)
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	replMode := fs.Bool("repl", false, "report per-region replica/view status instead of layout drift")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	quick := fs.Bool("quick", false, "run at reduced scale")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	shift := fs.Bool("shift", true, "shift the workload mid-run (false = plan-faithful control)")
+	fs.Parse(args)
+
+	if *replMode {
+		rep, err := experiments.RunReplStatus(traceOptions(*seed, *quick, *parallel))
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if n := rep.Unavailable(); n > 0 {
+			fmt.Printf("UNAVAILABLE: %d replica groups have no serving member\n", n)
+			return exitCode(1)
+		}
+		fmt.Println("available: every replica group has a serving member")
+		return nil
+	}
+
+	run, err := experiments.RunDrift(traceOptions(*seed, *quick, *parallel), *shift)
 	if err != nil {
 		return err
 	}

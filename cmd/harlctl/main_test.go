@@ -117,6 +117,18 @@ func TestHealthExitCodes(t *testing.T) {
 	}
 }
 
+func TestHealthReplStatus(t *testing.T) {
+	out, err := capture(t, "health", "-quick", "-repl")
+	if err != nil {
+		t.Fatalf("health -repl: %v\n%s", err, out)
+	}
+	for _, want := range []string{"replica/view status", "unreplicated", "r=2", "view changes", "available: every replica group"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("health -repl missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCritPathCommandQuick(t *testing.T) {
 	json := filepath.Join(t.TempDir(), "highlight.json")
 	out, err := capture(t, "critpath", "-quick", "-out", json)

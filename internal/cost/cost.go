@@ -59,6 +59,13 @@ type Params struct {
 	// SServer storage, write path.
 	AlphaSWMin, AlphaSWMax float64
 	BetaSW                 float64
+
+	// Replication factor for writes: every written byte is committed on
+	// R replicas before the ack (primary/backup chain). 0 and 1 both
+	// mean "no replication" and leave every formula untouched, so the
+	// zero value models exactly the original paper. Reads are served by
+	// one replica and never pay for R.
+	R int
 }
 
 // Validate reports whether the parameters are usable.
@@ -76,6 +83,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("cost: bad SServer write startup range")
 	case p.BetaH < 0 || p.BetaSR < 0 || p.BetaSW < 0:
 		return fmt.Errorf("cost: negative unit transfer time")
+	case p.R < 0:
+		return fmt.Errorf("cost: negative replication factor R=%d", p.R)
+	case p.R > p.M+p.N:
+		return fmt.Errorf("cost: replication factor R=%d exceeds cluster size %d", p.R, p.M+p.N)
 	}
 	return nil
 }
@@ -131,13 +142,23 @@ func (p Params) distributionBreakdown(op device.Op, d layout.Distribution) Break
 	// Eq. (1): network transfer of the largest sub-request on each class.
 	b.Network = math.Max(sm, sn) * p.NetUnit
 
+	// Replicated writes forward each primary's sub-request serially down
+	// its chain over the primary's uplink (R-1 extra hops of the largest
+	// sub-request), and the ack waits on startup draws across all R
+	// stores of each touched slot.
+	startupScale := 1
+	if op == device.Write && p.R > 1 {
+		b.Network += float64(p.R-1) * math.Max(sm, sn) * p.NetUnit
+		startupScale = p.R
+	}
+
 	// Eqs. (2)-(5): expected maximum startup across the touched servers.
 	var hStart, sStart float64
-	hStart = expectedMaxUniform(p.AlphaHMin, p.AlphaHMax, d.MTouched)
+	hStart = expectedMaxUniform(p.AlphaHMin, p.AlphaHMax, d.MTouched*startupScale)
 	if op == device.Read {
 		sStart = expectedMaxUniform(p.AlphaSRMin, p.AlphaSRMax, d.NTouched)
 	} else {
-		sStart = expectedMaxUniform(p.AlphaSWMin, p.AlphaSWMax, d.NTouched)
+		sStart = expectedMaxUniform(p.AlphaSWMin, p.AlphaSWMax, d.NTouched*startupScale)
 	}
 	b.Startup = math.Max(hStart, sStart)
 

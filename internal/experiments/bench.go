@@ -37,6 +37,15 @@ type BenchStats struct {
 	// EventsPerSecond is ScaleHuge's processed-event throughput — the
 	// per-PR perf trajectory number `make bench` prints.
 	EventsPerSecond float64
+	// ReplR1WriteSeconds and ReplR2WriteSeconds are the virtual traffic
+	// spans of the fault-free replication write benchmark at r=1 and
+	// r=2; their ratio is the replicated-write overhead the snapshot
+	// bounds.
+	ReplR1WriteSeconds float64
+	ReplR2WriteSeconds float64
+	// ReplRecoverySeconds is the virtual catch-up time of a recovered
+	// backup replaying a full overwrite pass it missed.
+	ReplRecoverySeconds float64
 }
 
 // BenchSnapshot measures the tracked benchmark numbers at the given
@@ -97,5 +106,23 @@ func BenchSnapshot(o Options) (BenchStats, error) {
 	st.ScaleHugeEndSeconds = huge.EndSeconds
 	st.ScaleHugeWallSeconds = huge.WallSeconds
 	st.EventsPerSecond = huge.EventsPerSec
+
+	// Replicated-write overhead (fault-free r=1 vs r=2) and the
+	// catch-up time of a recovered backup — both virtual, deterministic.
+	for _, rr := range []struct {
+		r   int
+		dst *float64
+	}{{1, &st.ReplR1WriteSeconds}, {2, &st.ReplR2WriteSeconds}} {
+		res, err := runReplIOR(o, o.clientPolicy(), rr.r, ReplShapeCrash, false)
+		if err != nil {
+			return st, err
+		}
+		*rr.dst = res.WriteSeconds
+	}
+	rec, err := RunReplRecovery(o)
+	if err != nil {
+		return st, err
+	}
+	st.ReplRecoverySeconds = rec.RecoverySeconds
 	return st, nil
 }

@@ -84,6 +84,7 @@ func Figures() []Figure {
 		{"baselines", BaselineComparison},
 		{"chaos", FigChaos},
 		{"hedge", FigHedge},
+		{"repl", FigRepl},
 		{"breakdown", FigTraceBreakdown},
 		{"drift", FigDrift},
 		{"critpath", FigCritPath},

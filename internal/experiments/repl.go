@@ -1,0 +1,682 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"harl/internal/cluster"
+	"harl/internal/faults"
+	"harl/internal/harl"
+	"harl/internal/layout"
+	"harl/internal/mpiio"
+	"harl/internal/pfs"
+	"harl/internal/repl"
+	"harl/internal/sim"
+	"harl/internal/stats"
+)
+
+// Replication experiments: IOR-style traffic on a HARL plan whose
+// regions carry a replication factor, driven through seeded
+// replica-targeted crash schedules. Every run ends with a read-back
+// verification of read-your-acked-writes: an acked write must be
+// durable and byte-exact across crashes, promotions and catch-up.
+// Results are comparable structs carrying the processed-event count, so
+// the r=1 differential can assert the replication-aware stack replays
+// today's protocol event for event.
+
+// ReplShape names one fault-schedule shape of the replication suite.
+type ReplShape string
+
+const (
+	// ReplShapeCrash is the plain seeded schedule: independent
+	// crash/recover episodes with uniformly drawn victims. It consumes
+	// exactly the randomness a legacy chaos schedule does, so r=0 and
+	// r=1 runs under it see identical fault sequences.
+	ReplShapeCrash ReplShape = "crash"
+	// ReplShapeDoubleCrash crashes a replica group's primary, then the
+	// promoted backup while the primary is still down — the region goes
+	// unavailable until a member returns.
+	ReplShapeDoubleCrash ReplShape = "double-crash"
+	// ReplShapeRecoveryOverlap crashes a backup, recovers it, and
+	// crashes the primary right behind the recovery, while the backup
+	// may still be replaying the log.
+	ReplShapeRecoveryOverlap ReplShape = "recovery-overlap"
+)
+
+// ReplShapes lists the suite's shapes in canonical order.
+func ReplShapes() []ReplShape {
+	return []ReplShape{ReplShapeCrash, ReplShapeDoubleCrash, ReplShapeRecoveryOverlap}
+}
+
+// ReplResult is one replicated chaos run's measurement. Comparable, so
+// the determinism and r=1 differential tests assert runs equal with ==.
+type ReplResult struct {
+	ChaosResult
+
+	// Repl is the file system's replication counter snapshot.
+	Repl pfs.ReplStats
+
+	// Verified counts ranges the read-back pass checked byte-exact;
+	// Unverified counts ranges whose final overwrite failed or hung —
+	// no ack promises their content, so they are skipped but reported
+	// rather than silently dropped.
+	Verified   int
+	Unverified int
+
+	// WriteSeconds is the virtual traffic span of both write passes —
+	// the replicated-write overhead number the benchmark snapshot
+	// tracks.
+	WriteSeconds float64
+
+	// Events and EndNs fingerprint the whole run (processed events,
+	// final virtual time): the r=1 differential requires them identical
+	// to an unstamped run's.
+	Events uint64
+	EndNs  int64
+}
+
+// replPayload derives write pass ver's bytes for a range from the
+// absolute offset alone, so verification recomputes expected content
+// without holding it; the two passes differ in every byte.
+func replPayload(ver int, off, size int64) []byte {
+	if ver == 0 {
+		return chaosPayload(off, size)
+	}
+	b := make([]byte, size)
+	for i := range b {
+		x := off + int64(i)
+		b[i] = byte(x ^ x>>8 ^ x>>17 ^ 0x29)
+	}
+	return b
+}
+
+// replStamp copies an RST, setting every region's replication factor to
+// r; r == 0 leaves the plan exactly as the planner produced it (today's
+// protocol), and r == 1 stamps the factor explicitly — same protocol,
+// but exercised through the replication-aware validation path.
+func replStamp(rst *harl.RST, r int) *harl.RST {
+	out := &harl.RST{Entries: append([]harl.RSTEntry(nil), rst.Entries...)}
+	if r >= 1 {
+		for i := range out.Entries {
+			out.Entries[i].R = int64(r)
+		}
+	}
+	return out
+}
+
+// replGroupsFor recomputes the replica groups CreateHARL will place for
+// the RST — the same repl.Place call with the same per-region rotation
+// — keeping the fault generator's targets aligned with the actual
+// placement. Only groups with a backup are returned.
+func replGroupsFor(rst *harl.RST, clusterCfg cluster.Config) [][]int {
+	var groups [][]int
+	for i, e := range rst.Entries {
+		if e.R <= 1 {
+			continue
+		}
+		st := layout.Striping{M: clusterCfg.HServers, N: clusterCfg.SServers, H: e.H, S: e.S}
+		for _, g := range repl.Place(st, int(e.R), i).Groups {
+			if len(g) >= 2 {
+				groups = append(groups, g)
+			}
+		}
+	}
+	return groups
+}
+
+// replShapeConfig maps a shape onto the chaos generator's knobs. Flaky
+// and straggle bouts are disabled: the replication suite isolates the
+// crash/view-change/catch-up protocol; the mixed-fault coverage stays
+// with the chaos suite.
+func replShapeConfig(shape ReplShape, fileBytes int64, servers int, groups [][]int) (faults.Config, error) {
+	cfg := chaosConfig(fileBytes, servers)
+	cfg.FlakyRuns = -1
+	cfg.Straggles = -1
+	switch shape {
+	case ReplShapeCrash:
+		// Default independent crash episodes.
+	case ReplShapeDoubleCrash:
+		cfg.Crashes = -1
+		cfg.DoubleCrashes = 1
+		cfg.ReplicaGroups = groups
+	case ReplShapeRecoveryOverlap:
+		cfg.Crashes = -1
+		cfg.RecoveryOverlaps = 1
+		cfg.ReplicaGroups = groups
+	default:
+		return cfg, fmt.Errorf("repl: unknown shape %q", shape)
+	}
+	if shape != ReplShapeCrash && len(groups) == 0 {
+		return cfg, fmt.Errorf("repl: shape %q needs a replicated region (r >= 2)", shape)
+	}
+	return cfg, nil
+}
+
+// runReplIOR writes every rank's slab of a HARL-planned shared file
+// twice — a populate pass and a full overwrite pass, so both the chain
+// (fresh extent) and quorum (covered overwrite) paths run — under the
+// given replication factor and fault shape, then reads back every range
+// whose last write was acked and checks it byte-exact.
+func runReplIOR(o Options, policy pfs.Policy, r int, shape ReplShape, withFaults bool) (ReplResult, error) {
+	co := o
+	co.FileSize = chaosFileSize(o.FileSize)
+	reqSize := chaosRequestSize(co.FileSize)
+	cfg := co.iorConfig(co.Ranks, reqSize)
+
+	clusterCfg := o.clusterDefault()
+	params, err := calibrated(clusterCfg, o.Probes)
+	if err != nil {
+		return ReplResult{}, err
+	}
+	plan, err := harl.Planner{Params: params, ChunkSize: co.ChunkSize, Parallelism: o.Parallelism}.Analyze(cfg.Trace())
+	if err != nil {
+		return ReplResult{}, err
+	}
+	rst := replStamp(&plan.RST, r)
+
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return ReplResult{}, err
+	}
+	tb.FS.ClientPolicy = policy // before NewWorld: clients copy it at creation
+	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
+	e := tb.Engine
+
+	var f *mpiio.HARLFile
+	var createErr error
+	w.Run(func() {
+		w.CreateHARL("repl", rst, func(file *mpiio.HARLFile, err error) {
+			f, createErr = file, err
+		})
+	})
+	if createErr != nil {
+		return ReplResult{}, createErr
+	}
+
+	var sched faults.Schedule
+	var flog *faults.Log
+	if withFaults {
+		fcfg, err := replShapeConfig(shape, co.FileSize, len(tb.FS.Servers()), replGroupsFor(rst, clusterCfg))
+		if err != nil {
+			return ReplResult{}, err
+		}
+		sched = faults.Chaos(o.ChaosSeed, fcfg)
+		flog = sched.Apply(e, tb.FS)
+	}
+	applyAt := e.Now()
+	faultsEnd := sched.End()
+
+	ranks := cfg.Ranks
+	slab := co.FileSize / int64(ranks)
+	opsPerRank := int(slab / reqSize)
+	res := ReplResult{ChaosResult: ChaosResult{Issued: 2 * ranks * opsPerRank, Regions: len(rst.Entries)}}
+
+	// Per-range outcome of the two passes; the verification pass decides
+	// from it which version (if any) an ack promised.
+	type opState struct{ acked0, tried1, acked1 bool }
+	states := make([]opState, ranks*opsPerRank)
+	var latencies []float64
+
+	var checkOp func(i int)
+	checkOp = func(i int) {
+		if i >= len(states) {
+			return
+		}
+		st := states[i]
+		rank := i / opsPerRank
+		off := int64(rank)*slab + int64(i%opsPerRank)*reqSize
+		var want []byte
+		switch {
+		case st.acked1:
+			want = replPayload(1, off, reqSize)
+		case st.tried1:
+			// The overwrite was attempted but never acked: the range may
+			// hold either version (or a per-stripe mix), so no promise
+			// exists. Skipped, but counted — never silently dropped.
+			res.Unverified++
+			checkOp(i + 1)
+			return
+		case st.acked0:
+			want = replPayload(0, off, reqSize)
+		default:
+			checkOp(i + 1)
+			return
+		}
+		f.ReadAt(0, off, reqSize, func(data []byte, err error) {
+			if err != nil || !bytes.Equal(data, want) {
+				res.IntegrityViolations++
+			} else {
+				res.Verified++
+			}
+			checkOp(i + 1)
+		})
+	}
+	verifyQueued := false
+	queueVerify := func() {
+		if verifyQueued {
+			return
+		}
+		verifyQueued = true
+		at := applyAt.Add(faultsEnd + 10*sim.Millisecond)
+		if now := e.Now(); at < now {
+			at = now
+		}
+		e.ScheduleAt(at, func() { checkOp(0) })
+	}
+
+	trafficStart := e.Now()
+	var trafficEnd sim.Time
+	finishedRanks := 0
+
+	var wd *faults.Watchdog
+	wd = faults.NewWatchdog(e, faultsEnd+30*sim.Second, func() {
+		res.WatchdogFired = true
+		trafficEnd = e.Now()
+		queueVerify()
+	})
+
+	runRank := func(rank int) {
+		base := int64(rank) * slab
+		var step func(k int)
+		step = func(k int) {
+			if k >= 2*opsPerRank {
+				finishedRanks++
+				if finishedRanks == ranks {
+					trafficEnd = e.Now()
+					wd.Disarm()
+					queueVerify()
+				}
+				return
+			}
+			ver := k / opsPerRank
+			idx := rank*opsPerRank + k%opsPerRank
+			off := base + int64(k%opsPerRank)*reqSize
+			if ver == 1 {
+				states[idx].tried1 = true
+			}
+			start := e.Now()
+			f.WriteAt(rank, off, replPayload(ver, off, reqSize), func(err error) {
+				if err != nil {
+					res.Failed++
+				} else {
+					res.Acked++
+					res.AckedBytes += reqSize
+					if ver == 0 {
+						states[idx].acked0 = true
+					} else {
+						states[idx].acked1 = true
+					}
+					latencies = append(latencies, e.Now().Sub(start).Seconds()*1e3)
+				}
+				step(k + 1)
+			})
+		}
+		step(0)
+	}
+	for rk := 0; rk < ranks; rk++ {
+		rk := rk
+		e.Schedule(0, func() { runRank(rk) })
+	}
+	e.Run()
+
+	if !res.WatchdogFired && finishedRanks != ranks {
+		return res, fmt.Errorf("repl: %d/%d ranks finished yet the watchdog never fired", finishedRanks, ranks)
+	}
+	res.Hung = res.Issued - res.Acked - res.Failed
+	res.WriteSeconds = trafficEnd.Sub(trafficStart).Seconds()
+	res.GoodputMBs = stats.Throughput(res.AckedBytes, res.WriteSeconds)
+	res.P50Ms = stats.Percentile(latencies, 50)
+	res.P99Ms = stats.Percentile(latencies, 99)
+	res.MaxMs = stats.Max(latencies)
+	res.Faults = tb.FS.Faults
+	res.Repl = tb.FS.Repl
+	if flog != nil {
+		res.FaultLog = flog.String()
+	}
+	res.Events = e.Processed
+	res.EndNs = int64(e.Now().Sub(0))
+	return res, nil
+}
+
+// FigRepl compares replication factors fault-free (the overhead rows)
+// and r=2 under each replica-targeted crash shape: goodput, protocol
+// activity, and the integrity verdict. Any integrity violation fails
+// the figure — an ack is a durability promise, faults or not.
+func FigRepl(o Options) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Replication: IOR writes under replica-targeted faults (chaos seed %d)", o.ChaosSeed),
+		Columns: []string{
+			"goodput MB/s", "acked", "failed", "unavailable",
+			"promotions", "catchup recs", "verified", "integrity",
+		},
+	}
+	rows := []struct {
+		label  string
+		r      int
+		shape  ReplShape
+		faults bool
+	}{
+		{"r=1 fault-free", 1, ReplShapeCrash, false},
+		{"r=2 fault-free", 2, ReplShapeCrash, false},
+		{"r=3 fault-free", 3, ReplShapeCrash, false},
+		{"r=2 crash", 2, ReplShapeCrash, true},
+		{"r=2 double-crash", 2, ReplShapeDoubleCrash, true},
+		{"r=2 recovery-overlap", 2, ReplShapeRecoveryOverlap, true},
+	}
+	for _, row := range rows {
+		res, err := runReplIOR(o, o.clientPolicy(), row.r, row.shape, row.faults)
+		if err != nil {
+			return nil, fmt.Errorf("repl %q: %w", row.label, err)
+		}
+		if res.IntegrityViolations > 0 {
+			return nil, fmt.Errorf("repl %q: %d acked ranges failed verification", row.label, res.IntegrityViolations)
+		}
+		t.Add(row.label,
+			res.GoodputMBs, float64(res.Acked), float64(res.Failed),
+			float64(res.Repl.Unavailable), float64(res.Repl.Promotions),
+			float64(res.Repl.CatchUpRecords), float64(res.Verified),
+			float64(res.IntegrityViolations))
+	}
+	return t, nil
+}
+
+// ReplRecovery measures a crashed replica's rejoin: the virtual time
+// from its recovery until every member of every group is chained with
+// zero lag, and how much log replay that took.
+type ReplRecovery struct {
+	// RecoverySeconds is recovery-to-caught-up on the virtual clock.
+	RecoverySeconds float64
+	// CatchUps counts completed catch-up sessions; LaggedRecords and
+	// LaggedBytes are the replayed log volume.
+	CatchUps      uint64
+	LaggedRecords uint64
+	LaggedBytes   uint64
+}
+
+// RunReplRecovery populates a replicated file, crashes a backup, fully
+// overwrites the file while it is down (every acked write becomes that
+// replica's lag), then recovers it and measures the catch-up.
+func RunReplRecovery(o Options) (ReplRecovery, error) {
+	clusterCfg := o.clusterDefault()
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return ReplRecovery{}, err
+	}
+	tb.FS.ClientPolicy = o.clientPolicy()
+	const ranks = 4
+	w := mpiio.NewWorld(tb.FS, ranks, o.ranksPerNode(ranks))
+	e := tb.Engine
+
+	fileSize := chaosFileSize(o.FileSize)
+	reqSize := chaosRequestSize(fileSize)
+	rst := &harl.RST{Entries: []harl.RSTEntry{{Offset: 0, End: fileSize, H: 64 << 10, S: 64 << 10, R: 2}}}
+
+	var f *mpiio.HARLFile
+	var createErr error
+	w.Run(func() {
+		w.CreateHARL("recovery", rst, func(file *mpiio.HARLFile, err error) {
+			f, createErr = file, err
+		})
+	})
+	if createErr != nil {
+		return ReplRecovery{}, createErr
+	}
+
+	groups := replGroupsFor(rst, clusterCfg)
+	if len(groups) == 0 {
+		return ReplRecovery{}, fmt.Errorf("repl recovery: placement produced no replicated group")
+	}
+	// A backup: its primary keeps serving while it is down, so writes
+	// keep acking and the lag accrues entirely on the victim.
+	victim := groups[0][1]
+
+	slab := fileSize / ranks
+	opsPerRank := int(slab / reqSize)
+	var writeErr error
+	writePass := func(ver int) {
+		for rk := 0; rk < ranks; rk++ {
+			base := int64(rk) * slab
+			rank := rk
+			var step func(k int)
+			step = func(k int) {
+				if k >= opsPerRank {
+					return
+				}
+				off := base + int64(k)*reqSize
+				f.WriteAt(rank, off, replPayload(ver, off, reqSize), func(err error) {
+					if err != nil {
+						writeErr = err
+						return
+					}
+					step(k + 1)
+				})
+			}
+			step(0)
+		}
+	}
+
+	w.Run(func() { writePass(0) })
+	if writeErr != nil {
+		return ReplRecovery{}, writeErr
+	}
+	w.Run(func() {
+		tb.FS.Crash(victim)
+		writePass(1)
+	})
+	if writeErr != nil {
+		return ReplRecovery{}, writeErr
+	}
+
+	name := harl.BuildR2F("recovery", rst).File(0)
+	caughtUp := func() bool {
+		for _, st := range tb.FS.ReplStatus(name) {
+			for _, m := range st.Members {
+				if !m.Alive || !m.Chained || m.Lag > 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	var recoverAt, caughtAt sim.Time
+	stalled := false
+	w.Run(func() {
+		tb.FS.Recover(victim)
+		recoverAt = e.Now()
+		var poll func()
+		poll = func() {
+			if caughtUp() {
+				caughtAt = e.Now()
+				return
+			}
+			if e.Now().Sub(recoverAt) > 30*sim.Second {
+				stalled = true
+				return
+			}
+			e.Schedule(500*sim.Microsecond, poll)
+		}
+		poll()
+	})
+	if stalled {
+		return ReplRecovery{}, fmt.Errorf("repl recovery: server %d never caught up", victim)
+	}
+	return ReplRecovery{
+		RecoverySeconds: caughtAt.Sub(recoverAt).Seconds(),
+		CatchUps:        tb.FS.Repl.CatchUps,
+		LaggedRecords:   tb.FS.Repl.CatchUpRecords,
+		LaggedBytes:     tb.FS.Repl.CatchUpBytes,
+	}, nil
+}
+
+// ReplStatusReport is a per-region replica/view snapshot of a demo
+// scenario — the scriptable output behind `harlctl health -repl`.
+type ReplStatusReport struct {
+	Regions []ReplRegionStatus
+}
+
+// ReplRegionStatus is one region's replica groups (empty Slots for an
+// unreplicated region).
+type ReplRegionStatus struct {
+	Region int
+	File   string
+	R      int64
+	Slots  []repl.Status
+}
+
+// Unavailable counts slots with no serving member.
+func (rep *ReplStatusReport) Unavailable() int {
+	n := 0
+	for _, rg := range rep.Regions {
+		for _, s := range rg.Slots {
+			if !s.Available {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WriteText renders the report: one line per region, plus a line for
+// every slot that is degraded (moved view, dead or lagging member).
+func (rep *ReplStatusReport) WriteText(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf("replica/view status: %d regions\n", len(rep.Regions))
+	for _, rg := range rep.Regions {
+		if len(rg.Slots) == 0 {
+			pf("region %d (%s): unreplicated\n", rg.Region, rg.File)
+			continue
+		}
+		moved, unavailable := 0, 0
+		for _, s := range rg.Slots {
+			if s.View > 0 {
+				moved++
+			}
+			if !s.Available {
+				unavailable++
+			}
+		}
+		pf("region %d (%s): r=%d, %d slots, %d view changes, %d unavailable\n",
+			rg.Region, rg.File, rg.R, len(rg.Slots), moved, unavailable)
+		for _, s := range rg.Slots {
+			degraded := s.View > 0 || !s.Available
+			for _, m := range s.Members {
+				if !m.Alive || !m.Chained || m.Lag > 0 {
+					degraded = true
+				}
+			}
+			if !degraded {
+				continue
+			}
+			pf("  slot %d: view %d serving s%d available=%v cp=%d", s.Slot, s.View, s.Serving, s.Available, s.CP)
+			for _, m := range s.Members {
+				state := "ok"
+				if !m.Alive {
+					state = "dead"
+				} else if m.Lag > 0 || !m.Chained {
+					state = "lagging"
+				}
+				pf(" s%d=%s(lag %d)", m.Server, state, m.Lag)
+			}
+			pf("\n")
+		}
+	}
+	return err
+}
+
+// RunReplStatus runs the status demo: a half-replicated file, a crashed
+// primary mid-write (forcing view changes and lag), and a snapshot of
+// every region's replica state while the crash is still in effect.
+func RunReplStatus(o Options) (*ReplStatusReport, error) {
+	clusterCfg := o.clusterDefault()
+	tb, err := cluster.New(clusterCfg)
+	if err != nil {
+		return nil, err
+	}
+	tb.FS.ClientPolicy = o.clientPolicy()
+	const ranks = 4
+	w := mpiio.NewWorld(tb.FS, ranks, o.ranksPerNode(ranks))
+
+	fileSize := chaosFileSize(o.FileSize)
+	half := fileSize / 2
+	rst := &harl.RST{Entries: []harl.RSTEntry{
+		{Offset: 0, End: half, H: 64 << 10, S: 64 << 10},
+		{Offset: half, End: fileSize, H: 64 << 10, S: 64 << 10, R: 2},
+	}}
+	var f *mpiio.HARLFile
+	var createErr error
+	w.Run(func() {
+		w.CreateHARL("status", rst, func(file *mpiio.HARLFile, err error) {
+			f, createErr = file, err
+		})
+	})
+	if createErr != nil {
+		return nil, createErr
+	}
+
+	groups := replGroupsFor(rst, clusterCfg)
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("repl status: placement produced no replicated group")
+	}
+	// A primary: crashing it forces promotions, and writes landing after
+	// the crash accrue as its replication lag.
+	victim := groups[0][0]
+
+	const reqSize = 64 << 10
+	var writeErr error
+	writeRange := func(ver int, lo, hi int64) {
+		span := (hi - lo) / ranks
+		for rk := 0; rk < ranks; rk++ {
+			base := lo + int64(rk)*span
+			rank := rk
+			ops := int(span / reqSize)
+			var step func(k int)
+			step = func(k int) {
+				if k >= ops {
+					return
+				}
+				off := base + int64(k)*reqSize
+				f.WriteAt(rank, off, replPayload(ver, off, reqSize), func(err error) {
+					if err != nil {
+						writeErr = err
+						return
+					}
+					step(k + 1)
+				})
+			}
+			step(0)
+		}
+	}
+
+	w.Run(func() { writeRange(0, 0, fileSize) })
+	if writeErr != nil {
+		return nil, writeErr
+	}
+	// The second pass writes only the replicated region: the crashed
+	// server also stripes the unreplicated one, where writes would just
+	// fail.
+	w.Run(func() {
+		tb.FS.Crash(victim)
+		writeRange(1, half, fileSize)
+	})
+	if writeErr != nil {
+		return nil, writeErr
+	}
+
+	r2f := harl.BuildR2F("status", rst)
+	rep := &ReplStatusReport{}
+	for i := range rst.Entries {
+		rep.Regions = append(rep.Regions, ReplRegionStatus{
+			Region: i,
+			File:   r2f.File(i),
+			R:      rst.Entries[i].R,
+			Slots:  tb.FS.ReplStatus(r2f.File(i)),
+		})
+	}
+	return rep, nil
+}

@@ -145,6 +145,30 @@ type Config struct {
 	// MaxFactor caps straggle slowdowns (drawn in [1, MaxFactor]).
 	// Default 8.
 	MaxFactor float64
+
+	// ReplicaGroups lists the replica groups of the file under test
+	// (primary first, as in repl.Spec.Groups); the replica-targeted crash
+	// shapes below draw their victims from groups with at least two
+	// members. Chaos panics if a shape count is set without a usable
+	// group — a correlated crash against nothing is a test bug, not a
+	// scenario.
+	ReplicaGroups [][]int
+
+	// DoubleCrashes injects correlated failures inside one replica group:
+	// crash the primary, then crash the promoted backup while the primary
+	// is still down (the region goes unavailable), then recover both.
+	// Default 0.
+	DoubleCrashes int
+
+	// RecoveryOverlaps injects a crash during catch-up: crash a backup,
+	// recover it, then crash the primary shortly after the recovery —
+	// while the backup may still be replaying the log. Default 0.
+	RecoveryOverlaps int
+
+	// Stagger bounds the delay between the paired events of a replica-
+	// targeted shape (primary crash to backup crash, recovery to the
+	// overlapping crash). Defaults 5–30 ms.
+	MinStagger, MaxStagger sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -182,7 +206,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxFactor < 1 {
 		c.MaxFactor = 8
 	}
+	if c.MinStagger <= 0 {
+		c.MinStagger = 5 * sim.Millisecond
+	}
+	if c.MaxStagger < c.MinStagger {
+		c.MaxStagger = 30 * sim.Millisecond
+	}
 	return c
+}
+
+// usableGroups filters ReplicaGroups down to those a correlated crash
+// can target: at least a primary and one backup.
+func usableGroups(groups [][]int) [][]int {
+	var out [][]int
+	for _, g := range groups {
+		if len(g) >= 2 {
+			out = append(out, g)
+		}
+	}
+	return out
 }
 
 // Chaos generates a fault schedule from the seed alone: episode start
@@ -226,6 +268,48 @@ func Chaos(seed int64, cfg Config) Schedule {
 		episode(Straggle, Unstraggle, span(cfg.MinBout, cfg.MaxBout), func(ev *Event) {
 			ev.Factor = 1 + rng.Float64()*(cfg.MaxFactor-1)
 		})
+	}
+	// Replica-targeted shapes draw strictly after the legacy episodes, so
+	// configs without them consume exactly the randomness they always did
+	// — legacy schedules replay bit-identically from their seeds.
+	if cfg.DoubleCrashes > 0 || cfg.RecoveryOverlaps > 0 {
+		groups := usableGroups(cfg.ReplicaGroups)
+		if len(groups) == 0 {
+			panic("faults: replica-targeted crash shapes need ReplicaGroups with >= 2 members")
+		}
+		for i := 0; i < cfg.DoubleCrashes; i++ {
+			g := groups[rng.Intn(len(groups))]
+			primary, backup := g[0], g[1]
+			at := sim.Duration(rng.Int63n(int64(cfg.Horizon)))
+			stagger := span(cfg.MinStagger, cfg.MaxStagger)
+			out1 := span(cfg.MinOutage, cfg.MaxOutage)
+			out2 := span(cfg.MinOutage, cfg.MaxOutage)
+			// Primary dies, the backup is promoted, then dies too: the
+			// region is unavailable until a member returns. Both recover.
+			s = append(s,
+				Event{At: at, Kind: Crash, Server: primary},
+				Event{At: at + stagger, Kind: Crash, Server: backup},
+				Event{At: at + stagger + out1, Kind: Recover, Server: backup},
+				Event{At: at + stagger + out1 + out2, Kind: Recover, Server: primary},
+			)
+		}
+		for i := 0; i < cfg.RecoveryOverlaps; i++ {
+			g := groups[rng.Intn(len(groups))]
+			primary, backup := g[0], g[1]
+			at := sim.Duration(rng.Int63n(int64(cfg.Horizon)))
+			out1 := span(cfg.MinOutage, cfg.MaxOutage)
+			stagger := span(cfg.MinStagger, cfg.MaxStagger)
+			out2 := span(cfg.MinOutage, cfg.MaxOutage)
+			// The backup recovers and starts replaying the log; the
+			// primary dies right behind the recovery, so the group must
+			// ride on a member that may still be catching up.
+			s = append(s,
+				Event{At: at, Kind: Crash, Server: backup},
+				Event{At: at + out1, Kind: Recover, Server: backup},
+				Event{At: at + out1 + stagger, Kind: Crash, Server: primary},
+				Event{At: at + out1 + stagger + out2, Kind: Recover, Server: primary},
+			)
+		}
 	}
 	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
 	return s

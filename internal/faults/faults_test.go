@@ -163,3 +163,132 @@ func TestChaosPanicsWithoutServers(t *testing.T) {
 	}()
 	Chaos(1, Config{})
 }
+
+func TestReplChaosShapesDeterministic(t *testing.T) {
+	cfg := Config{
+		Servers:          8,
+		ReplicaGroups:    [][]int{{0, 1}, {2, 3}, {6, 7}},
+		DoubleCrashes:    2,
+		RecoveryOverlaps: 2,
+	}
+	a := Chaos(11, cfg)
+	b := Chaos(11, cfg)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReplChaosLegacyDrawsUnchanged(t *testing.T) {
+	// The replica-targeted shapes draw after the legacy episodes, so a
+	// schedule with them contains the exact legacy schedule as a subset:
+	// pre-replication seeds keep replaying bit-identically.
+	base := Config{Servers: 8}
+	withShapes := base
+	withShapes.ReplicaGroups = [][]int{{0, 1}}
+	withShapes.DoubleCrashes = 1
+	withShapes.RecoveryOverlaps = 1
+	legacy := Chaos(5, base)
+	extended := Chaos(5, withShapes)
+	if len(extended) != len(legacy)+8 {
+		t.Fatalf("extended has %d events, want %d", len(extended), len(legacy)+8)
+	}
+	remaining := append(Schedule(nil), extended...)
+	for _, want := range legacy {
+		found := false
+		for i, ev := range remaining {
+			if ev == want {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("legacy event %v missing from extended schedule", want)
+		}
+	}
+}
+
+func TestReplChaosDoubleCrashShape(t *testing.T) {
+	cfg := Config{
+		Servers:       8,
+		FlakyRuns:     -1,
+		Straggles:     -1,
+		Crashes:       -1,
+		ReplicaGroups: [][]int{{2, 3, 4}},
+		DoubleCrashes: 1,
+	}
+	s := Chaos(3, cfg)
+	if len(s) != 4 {
+		t.Fatalf("events = %d, want 4: %v", len(s), s)
+	}
+	var crashes, recovers []Event
+	for _, ev := range s {
+		switch ev.Kind {
+		case Crash:
+			crashes = append(crashes, ev)
+		case Recover:
+			recovers = append(recovers, ev)
+		}
+	}
+	if len(crashes) != 2 || len(recovers) != 2 {
+		t.Fatalf("crashes/recovers = %d/%d", len(crashes), len(recovers))
+	}
+	if crashes[0].Server != 2 || crashes[1].Server != 3 {
+		t.Fatalf("victims %d,%d, want primary 2 then backup 3", crashes[0].Server, crashes[1].Server)
+	}
+	// The backup must die while the primary is still down: both down at
+	// the second crash time.
+	if crashes[1].At >= recovers[0].At && crashes[1].At >= recovers[1].At {
+		t.Fatalf("no overlap: second crash %v after both recoveries %v/%v",
+			crashes[1].At, recovers[0].At, recovers[1].At)
+	}
+}
+
+func TestReplChaosRecoveryOverlapShape(t *testing.T) {
+	cfg := Config{
+		Servers:          8,
+		FlakyRuns:        -1,
+		Straggles:        -1,
+		Crashes:          -1,
+		ReplicaGroups:    [][]int{{0, 5}},
+		RecoveryOverlaps: 1,
+		MaxStagger:       10 * sim.Millisecond,
+	}
+	s := Chaos(4, cfg)
+	if len(s) != 4 {
+		t.Fatalf("events = %d, want 4: %v", len(s), s)
+	}
+	// Order: backup crash, backup recover, primary crash, primary recover.
+	wantKinds := []Kind{Crash, Recover, Crash, Recover}
+	wantServers := []int{5, 5, 0, 0}
+	for i, ev := range s {
+		if ev.Kind != wantKinds[i] || ev.Server != wantServers[i] {
+			t.Fatalf("event %d = %v, want %v s%d", i, ev, wantKinds[i], wantServers[i])
+		}
+	}
+	// The primary crash tails the backup recovery by at most MaxStagger.
+	if gap := s[2].At - s[1].At; gap <= 0 || gap > 10*sim.Millisecond {
+		t.Fatalf("crash-during-recovery gap %v outside (0, 10ms]", gap)
+	}
+}
+
+func TestReplChaosShapesNeedGroups(t *testing.T) {
+	for _, cfg := range []Config{
+		{Servers: 8, DoubleCrashes: 1},
+		{Servers: 8, RecoveryOverlaps: 1, ReplicaGroups: [][]int{{3}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic without usable replica groups", cfg)
+				}
+			}()
+			Chaos(1, cfg)
+		}()
+	}
+}

@@ -30,6 +30,12 @@ type Planner struct {
 	// resulting plan is bit-identical at every setting.
 	Parallelism int
 
+	// Repl, when non-nil, opens the per-region replication axis: each
+	// region's search also chooses r in [1, Repl.MaxR], trading write
+	// amplification against durability (see ReplAxis). Nil reproduces
+	// the unreplicated planner bit-for-bit.
+	Repl *ReplAxis
+
 	// Profile, when non-nil, is filled in by Analyze with the search's
 	// per-region and per-worker profile (see profile.go). Profiling never
 	// changes the produced plan.
@@ -45,6 +51,7 @@ type Planner struct {
 type PlannedRegion struct {
 	region.Region
 	Stripes   StripePair
+	R         int64   // chosen replication factor; 0 when no ReplAxis ran
 	ModelCost float64 // summed model cost of the scored requests
 	WriteMix  float64 // fraction of region bytes written
 }
@@ -71,6 +78,11 @@ type Plan struct {
 func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
 	if err := pl.Params.Validate(); err != nil {
 		return nil, err
+	}
+	if pl.Repl != nil {
+		if err := pl.Repl.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if tr == nil || tr.Len() == 0 {
 		return nil, fmt.Errorf("harl: empty trace")
@@ -112,12 +124,26 @@ func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
 		analyzeStart = time.Now()
 	}
 
+	replicating := pl.Repl != nil && pl.Repl.MaxR > 1
 	planned := make([]PlannedRegion, len(regions))
 	scatter(pool, len(regions), func(w, i int) {
 		reg := regions[i]
 		var pair StripePair
 		var c float64
-		if prof != nil {
+		var r int64
+		switch {
+		case replicating && prof != nil:
+			t0 := time.Now()
+			var rs RegionSearch
+			pair, c, r = pl.optimizeRegionRepl(opt, groups[i], reg, &rs)
+			rs.Region = i
+			rs.WallNS = time.Since(t0).Nanoseconds()
+			prof.Regions[i] = rs
+			prof.Workers[w].Regions++
+			prof.Workers[w].WallNS += rs.WallNS
+		case replicating:
+			pair, c, r = pl.optimizeRegionRepl(opt, groups[i], reg, nil)
+		case prof != nil:
 			// Each scatter worker index runs on exactly one goroutine, so
 			// Workers[w] is written race-free.
 			t0 := time.Now()
@@ -128,12 +154,13 @@ func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
 			prof.Regions[i] = rs
 			prof.Workers[w].Regions++
 			prof.Workers[w].WallNS += rs.WallNS
-		} else {
+		default:
 			pair, c = opt.OptimizeRegion(groups[i], reg.Offset, reg.AvgSize)
 		}
 		planned[i] = PlannedRegion{
 			Region:    reg,
 			Stripes:   pair,
+			R:         r,
 			ModelCost: c,
 			WriteMix:  ReadWriteMix(groups[i]),
 		}
@@ -149,6 +176,7 @@ func (pl Planner) Analyze(tr *trace.Trace) (*Plan, error) {
 			End:    r.End,
 			H:      r.Stripes.H,
 			S:      r.Stripes.S,
+			R:      r.R,
 		})
 	}
 	plan.RST.Merge()

@@ -16,6 +16,15 @@ type RSTEntry struct {
 	End    int64 // exclusive end
 	H      int64 // HServer stripe size
 	S      int64 // SServer stripe size
+	R      int64 // replicas per stripe slot; 0 and 1 both mean unreplicated
+}
+
+// effR normalizes the replication factor: 0 and 1 are the same protocol.
+func effR(r int64) int64 {
+	if r <= 1 {
+		return 1
+	}
+	return r
 }
 
 // Pair returns the entry's stripe pair.
@@ -36,6 +45,9 @@ func (t *RST) Validate() error {
 		}
 		if e.H < 0 || e.S < 0 || e.H+e.S == 0 {
 			return fmt.Errorf("harl: RST entry %d has unusable stripes %v", i, e.Pair())
+		}
+		if e.R < 0 {
+			return fmt.Errorf("harl: RST entry %d has negative replication factor %d", i, e.R)
 		}
 		if i == 0 {
 			if e.Offset != 0 {
@@ -88,7 +100,7 @@ func (t *RST) Merge() int {
 	removed := 0
 	for _, e := range t.Entries[1:] {
 		last := &out[len(out)-1]
-		if e.H == last.H && e.S == last.S {
+		if e.H == last.H && e.S == last.S && effR(e.R) == effR(last.R) {
 			last.End = e.End
 			removed++
 			continue
@@ -99,18 +111,42 @@ func (t *RST) Merge() int {
 	return removed
 }
 
-// rstHeader versions the on-disk format.
-const rstHeader = "#harl-rst v1"
+// rstHeader versions the on-disk format: v1 is "offset end h s", v2
+// appends the replication factor. Write emits v1 whenever no region is
+// replicated, so pre-replication tooling keeps reading its own tables.
+const (
+	rstHeader   = "#harl-rst v1"
+	rstHeaderV2 = "#harl-rst v2"
+)
 
-// Write encodes the table as text: "offset end h s" per line. The format
-// is the on-disk RST the paper stores alongside the application.
+// Write encodes the table as text: "offset end h s" per line (v1), or
+// "offset end h s r" (v2) when any region carries a replication factor
+// above 1. The format is the on-disk RST the paper stores alongside the
+// application.
 func (t *RST) Write(w io.Writer) error {
+	replicated := false
+	for _, e := range t.Entries {
+		if e.R > 1 {
+			replicated = true
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, rstHeader); err != nil {
+	header := rstHeader
+	if replicated {
+		header = rstHeaderV2
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
 		return err
 	}
 	for _, e := range t.Entries {
-		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", e.Offset, e.End, e.H, e.S); err != nil {
+		var err error
+		if replicated {
+			_, err = fmt.Fprintf(bw, "%d %d %d %d %d\n", e.Offset, e.End, e.H, e.S, e.R)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d %d %d\n", e.Offset, e.End, e.H, e.S)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -122,7 +158,7 @@ func ReadRST(r io.Reader) (*RST, error) {
 	sc := bufio.NewScanner(r)
 	t := &RST{}
 	lineNo := 0
-	sawHeader := false
+	wantFields := 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -130,21 +166,25 @@ func ReadRST(r io.Reader) (*RST, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			if line == rstHeader {
-				sawHeader = true
+			switch line {
+			case rstHeader:
+				wantFields = 4
+			case rstHeaderV2:
+				wantFields = 5
 			}
 			continue
 		}
-		if !sawHeader {
-			return nil, fmt.Errorf("harl: RST line %d: missing %q header", lineNo, rstHeader)
+		if wantFields == 0 {
+			return nil, fmt.Errorf("harl: RST line %d: missing %q or %q header", lineNo, rstHeader, rstHeaderV2)
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("harl: RST line %d: want 4 fields, got %d", lineNo, len(fields))
+		if len(fields) != wantFields {
+			return nil, fmt.Errorf("harl: RST line %d: want %d fields, got %d", lineNo, wantFields, len(fields))
 		}
 		var e RSTEntry
 		var err error
-		for i, dst := range []*int64{&e.Offset, &e.End, &e.H, &e.S} {
+		dsts := []*int64{&e.Offset, &e.End, &e.H, &e.S, &e.R}[:wantFields]
+		for i, dst := range dsts {
 			if *dst, err = strconv.ParseInt(fields[i], 10, 64); err != nil {
 				return nil, fmt.Errorf("harl: RST line %d field %d: %w", lineNo, i, err)
 			}

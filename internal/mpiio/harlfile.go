@@ -11,6 +11,7 @@ import (
 	"harl/internal/monitor"
 	"harl/internal/obs"
 	"harl/internal/pfs"
+	"harl/internal/repl"
 	"harl/internal/sim"
 )
 
@@ -105,7 +106,7 @@ func (w *World) CreateHARL(name string, rst *harl.RST, done func(*HARLFile, erro
 		e := rst.Entries[i]
 		st := layout.Striping{M: hCount, N: sCount, H: e.H, S: e.S}
 		f.handles[i] = make([]*pfs.File, w.Ranks())
-		w.Client(0).Create(f.r2f.File(i), st, func(h *pfs.File, err error) {
+		created := func(h *pfs.File, err error) {
 			if err != nil {
 				done(nil, fmt.Errorf("mpiio: create region %d of %q: %w", i, name, err))
 				return
@@ -118,7 +119,15 @@ func (w *World) CreateHARL(name string, rst *harl.RST, done func(*HARLFile, erro
 				}
 				createRegion(i + 1)
 			})
-		})
+		}
+		if e.R > 1 {
+			// A replicated region places tier-affine replica groups per
+			// slot, rotated by region index so consecutive regions spread
+			// their backup load over different servers.
+			w.Client(0).CreateReplicated(f.r2f.File(i), st, repl.Place(st, int(e.R), i), created)
+		} else {
+			w.Client(0).Create(f.r2f.File(i), st, created)
+		}
 	}
 	createRegion(0)
 }

@@ -28,6 +28,11 @@ var (
 	// ErrRetriesExhausted wraps the last attempt's error once the retry
 	// budget is spent.
 	ErrRetriesExhausted = errors.New("pfs: retries exhausted")
+	// ErrUnavailable reports a replicated region whose replica group has
+	// no eligible serving replica — every copy crashed, or the survivors
+	// are still catching up. Retryable: a view change or log replay on the
+	// virtual clock can restore service.
+	ErrUnavailable = errors.New("pfs: replica group unavailable")
 )
 
 // DegradedError reports that an operation touched servers the MDS
@@ -45,7 +50,7 @@ func (e *DegradedError) Error() string {
 // Retryable reports whether a sub-request error is transient — worth
 // retrying on the same server after a backoff.
 func Retryable(err error) bool {
-	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrFlaky)
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrFlaky) || errors.Is(err, ErrUnavailable)
 }
 
 // Health is the MDS's view of one data server. Fault events move servers
@@ -97,23 +102,29 @@ func (fs *FS) Crash(server int) {
 	}
 	s.down = true
 	s.epoch++
-	fs.health[server] = Down
+	fs.health[s.ID] = Down
 	fs.Faults.Crashes++
 	fs.annotate(s, "fault.crash")
+	fs.replOnDown(s.ID)
 }
 
 // Recover brings a crashed server back. Requests queued on its disk from
 // before the crash belong to the previous incarnation and are still
-// dropped; new requests are served normally.
+// dropped; new requests are served normally. The restarted process runs
+// at nominal speed again, so any straggle factor is reset; flaky
+// probabilities model the disk behind the process and persist across the
+// restart.
 func (fs *FS) Recover(server int) {
 	s := fs.server(server)
 	if !s.down {
 		return
 	}
 	s.down = false
-	fs.health[server] = Healthy
+	s.SlowFactor = 1
+	fs.health[s.ID] = Healthy
 	fs.Faults.Recoveries++
 	fs.annotate(s, "fault.recover")
+	fs.replOnUp(s.ID)
 }
 
 // SetFlaky makes a server fail requests at completion time: with

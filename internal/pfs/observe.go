@@ -84,6 +84,21 @@ func (fs *FS) SyncMetrics() {
 	reg.Counter("pfs_fault_hedge_wins_total").Set(int64(f.HedgeWins))
 	reg.Counter("pfs_fault_failfasts_total").Set(int64(f.FailFasts))
 	reg.Counter("pfs_mds_lookups_total").Set(int64(fs.MDSLookups))
+	if len(fs.replFiles) > 0 {
+		// Replication counters appear only once a replicated file exists,
+		// keeping legacy metric output byte-identical.
+		r := &fs.Repl
+		reg.Counter("pfs_repl_chain_writes_total").Set(int64(r.ChainWrites))
+		reg.Counter("pfs_repl_quorum_writes_total").Set(int64(r.QuorumWrites))
+		reg.Counter("pfs_repl_forwards_total").Set(int64(r.Forwards))
+		reg.Counter("pfs_repl_forward_bytes_total").Set(int64(r.ForwardBytes))
+		reg.Counter("pfs_repl_backup_reads_total").Set(int64(r.BackupReads))
+		reg.Counter("pfs_repl_promotions_total").Set(int64(r.Promotions))
+		reg.Counter("pfs_repl_unavailable_total").Set(int64(r.Unavailable))
+		reg.Counter("pfs_repl_catchups_total").Set(int64(r.CatchUps))
+		reg.Counter("pfs_repl_catchup_records_total").Set(int64(r.CatchUpRecords))
+		reg.Counter("pfs_repl_catchup_bytes_total").Set(int64(r.CatchUpBytes))
+	}
 	reg.Counter("sim_events_processed_total").Set(int64(fs.engine.Processed))
 	fs.net.SyncMetrics(reg)
 }

@@ -65,6 +65,11 @@ type Server struct {
 	// like an OrangeFS datafile.
 	objects map[uint64]*device.Store
 
+	// replObjects holds backup copies of other slots' objects for
+	// replicated files (repl.go), keyed by (file, slot). Allocated lazily;
+	// replica bytes are protocol overhead and are not counted in stored.
+	replObjects map[replKey]*device.Store
+
 	stored int64 // bytes resident, for capacity accounting
 
 	// Observability (observe.go). The counters are pre-resolved at
@@ -124,6 +129,10 @@ type FileMeta struct {
 	Name   string
 	Layout layout.Mapper
 	Size   int64 // logical EOF: max(offset+size) over completed writes
+
+	// Repl is non-nil for replicated files (repl.go): per-slot replica
+	// groups, their logs and in-flight write pendings.
+	Repl *replState
 }
 
 // FS is the assembled file system: engine, network, MDS and data servers.
@@ -153,6 +162,11 @@ type FS struct {
 
 	// Faults aggregates fault-injection and recovery counters (faults.go).
 	Faults FaultStats
+
+	// Repl aggregates the replication protocol's counters (repl.go);
+	// replFiles lists the files the crash/recover hooks must drive.
+	Repl      ReplStats
+	replFiles []*FileMeta
 
 	// ClientPolicy is the default recovery policy handed to NewClient.
 	// The zero value disables deadlines, retries and hedging, reproducing
@@ -323,6 +337,19 @@ func (fs *FS) remove(name string) error {
 		if obj, ok := s.objects[meta.ID]; ok {
 			s.stored -= obj.Bytes()
 			delete(s.objects, meta.ID)
+		}
+	}
+	if meta.Repl != nil {
+		for _, s := range fs.servers {
+			for slot := range meta.Repl.groups {
+				delete(s.replObjects, replKey{file: meta.ID, slot: slot})
+			}
+		}
+		for i, m := range fs.replFiles {
+			if m == meta {
+				fs.replFiles = append(fs.replFiles[:i], fs.replFiles[i+1:]...)
+				break
+			}
 		}
 	}
 	return nil

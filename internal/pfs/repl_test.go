@@ -1,0 +1,519 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"harl/internal/layout"
+	"harl/internal/repl"
+	"harl/internal/sim"
+)
+
+func mustCreateRepl(t *testing.T, e *sim.Engine, c *Client, name string, st layout.Striping, r int) *File {
+	t.Helper()
+	var f *File
+	e.Schedule(0, func() {
+		c.CreateReplicated(name, st, repl.Place(st, r, 0), func(file *File, err error) {
+			if err != nil {
+				t.Errorf("create %q: %v", name, err)
+				return
+			}
+			f = file
+		})
+	})
+	e.Run()
+	if f == nil {
+		t.Fatalf("create %q did not complete", name)
+	}
+	return f
+}
+
+func TestReplUnavailableIsRetryable(t *testing.T) {
+	if !Retryable(ErrUnavailable) {
+		t.Fatal("ErrUnavailable must be retryable — a view change can restore service")
+	}
+}
+
+func TestReplWriteReadRoundTrip(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+	if f.meta.Repl == nil {
+		t.Fatal("replicated create left no protocol state")
+	}
+
+	// Page-aligned so the sparse stores' page accounting below is exact.
+	payload := fill(21, 512<<10)
+	var got []byte
+	e.Schedule(0, func() {
+		f.WriteAt(payload, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			f.ReadAt(0, int64(len(payload)), func(data []byte, err error) {
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				got = data
+			})
+		})
+	})
+	e.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("replicated round-trip mismatch")
+	}
+	if fs.Repl.ChainWrites == 0 || fs.Repl.Forwards == 0 || fs.Repl.ForwardBytes == 0 {
+		t.Fatalf("chain protocol did not run: %+v", fs.Repl)
+	}
+	// Every byte written must also sit on a backup replica.
+	var backupBytes int64
+	for _, s := range fs.servers {
+		for _, obj := range s.replObjects {
+			backupBytes += obj.Bytes()
+		}
+	}
+	if backupBytes != int64(len(payload)) {
+		t.Fatalf("backup replicas hold %d bytes, want %d", backupBytes, len(payload))
+	}
+}
+
+func TestReplR1DelegatesToPlainProtocol(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 1)
+	if f.meta.Repl != nil {
+		t.Fatal("r=1 must delegate to the unreplicated protocol")
+	}
+	var done bool
+	e.Schedule(0, func() {
+		f.WriteAt(fill(22, 128<<10), 0, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+			done = true
+		})
+	})
+	e.Run()
+	if !done {
+		t.Fatal("write never completed")
+	}
+	if fs.Repl != (ReplStats{}) {
+		t.Fatalf("r=1 touched the replication protocol: %+v", fs.Repl)
+	}
+}
+
+func TestReplCrashPromotesBackupForReads(t *testing.T) {
+	e, fs := testbed(t)
+	fs.ClientPolicy = retryPolicy()
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+
+	payload := fill(23, 512<<10)
+	e.Schedule(0, func() {
+		f.WriteAt(payload, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+		})
+	})
+	e.Run()
+
+	fs.Crash(0)
+	if fs.Repl.Promotions == 0 {
+		t.Fatal("crashing a primary must change its groups' views")
+	}
+	var got []byte
+	e.Schedule(0, func() {
+		f.ReadAt(0, int64(len(payload)), func(data []byte, err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			got = data
+		})
+	})
+	e.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read after primary crash lost acknowledged bytes")
+	}
+	if fs.Repl.BackupReads == 0 {
+		t.Fatal("no read was served by a backup replica")
+	}
+}
+
+func TestReplWriteContinuesAfterPrimaryCrash(t *testing.T) {
+	e, fs := testbed(t)
+	fs.ClientPolicy = retryPolicy()
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+
+	first := fill(24, 512<<10)
+	second := fill(25, 512<<10)
+	e.Schedule(0, func() {
+		f.WriteAt(first, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write 1: %v", err)
+			}
+		})
+	})
+	e.Run()
+
+	fs.Crash(0)
+	var got []byte
+	e.Schedule(0, func() {
+		f.WriteAt(second, int64(len(first)), func(err error) {
+			if err != nil {
+				t.Errorf("write 2: %v", err)
+				return
+			}
+			f.ReadAt(0, int64(len(first)+len(second)), func(data []byte, err error) {
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				got = data
+			})
+		})
+	})
+	e.Run()
+	want := append(append([]byte(nil), first...), second...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("read-your-writes broken across a primary crash")
+	}
+}
+
+func TestReplDoubleCrashUnavailableUntilRecovery(t *testing.T) {
+	e, fs := testbed(t)
+	fs.ClientPolicy = retryPolicy()
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+
+	payload := fill(26, 512<<10)
+	e.Schedule(0, func() {
+		f.WriteAt(payload, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write 1: %v", err)
+			}
+		})
+	})
+	e.Run()
+
+	// Both replicas of slot 0's group down: the region is unavailable.
+	fs.Crash(0)
+	fs.Crash(1)
+	var done bool
+	var werr error
+	e.Schedule(0, func() {
+		f.WriteAt(fill(27, 512<<10), int64(len(payload)), func(err error) { done, werr = true, err })
+	})
+	e.Schedule(100*sim.Millisecond, func() { fs.Recover(1) })
+	e.Run()
+	if !done {
+		t.Fatal("write never settled")
+	}
+	if werr != nil {
+		t.Fatalf("write after recovering one replica: %v", werr)
+	}
+	if fs.Repl.Unavailable == 0 {
+		t.Fatal("double crash never reported unavailability")
+	}
+
+	var got []byte
+	e.Schedule(0, func() {
+		f.ReadAt(0, int64(len(payload)), func(data []byte, err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			got = data
+		})
+	})
+	e.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("acked bytes lost across double crash")
+	}
+}
+
+func TestReplCatchUpRepairsRecoveredReplica(t *testing.T) {
+	e, fs := testbed(t)
+	fs.ClientPolicy = retryPolicy()
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+
+	first := fill(28, 512<<10)
+	second := fill(29, 512<<10)
+	e.Schedule(0, func() {
+		f.WriteAt(first, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write 1: %v", err)
+			}
+		})
+	})
+	e.Run()
+
+	// Server 0 misses the second round of writes, then recovers and must
+	// replay them from the log before rejoining its groups.
+	fs.Crash(0)
+	e.Schedule(0, func() {
+		f.WriteAt(second, int64(len(first)), func(err error) {
+			if err != nil {
+				t.Errorf("write 2: %v", err)
+			}
+		})
+	})
+	e.Run()
+	fs.Recover(0)
+	e.Run()
+
+	if fs.Repl.CatchUps == 0 || fs.Repl.CatchUpRecords == 0 {
+		t.Fatalf("recovery triggered no catch-up: %+v", fs.Repl)
+	}
+	for _, status := range fs.ReplStatus("data") {
+		for _, m := range status.Members {
+			if m.Alive && m.Lag != 0 {
+				t.Fatalf("slot %d member %d still lags %d after catch-up", status.Slot, m.Server, m.Lag)
+			}
+		}
+	}
+
+	var got []byte
+	e.Schedule(0, func() {
+		f.ReadAt(0, int64(len(first)+len(second)), func(data []byte, err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			got = data
+		})
+	})
+	e.Run()
+	want := append(append([]byte(nil), first...), second...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("data diverged after catch-up")
+	}
+}
+
+func TestReplOverwriteUsesQuorum(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 3)
+
+	v0 := fill(30, 256<<10)
+	v1 := fill(31, 256<<10)
+	var got []byte
+	e.Schedule(0, func() {
+		f.WriteAt(v0, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write v0: %v", err)
+				return
+			}
+			f.WriteAt(v1, 0, func(err error) {
+				if err != nil {
+					t.Errorf("write v1: %v", err)
+					return
+				}
+				f.ReadAt(0, int64(len(v1)), func(data []byte, err error) {
+					if err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					got = data
+				})
+			})
+		})
+	})
+	e.Run()
+	if !bytes.Equal(got, v1) {
+		t.Fatal("overwrite did not read back the newer payload")
+	}
+	if fs.Repl.QuorumWrites == 0 {
+		t.Fatal("overwrite did not use the quorum rule")
+	}
+	if fs.Repl.ChainWrites == 0 {
+		t.Fatal("initial write did not use the chain rule")
+	}
+}
+
+func TestReplPhantomWritesReplicate(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+
+	var done bool
+	e.Schedule(0, func() {
+		f.WriteZeros(0, 1<<20, func(err error) {
+			if err != nil {
+				t.Errorf("write zeros: %v", err)
+			}
+			done = true
+		})
+	})
+	e.Run()
+	if !done {
+		t.Fatal("phantom write never completed")
+	}
+	if fs.Repl.ChainWrites == 0 || fs.Repl.Forwards == 0 {
+		t.Fatalf("phantom write skipped the chain protocol: %+v", fs.Repl)
+	}
+	// Phantom payloads must stay phantom on the backups too.
+	for _, s := range fs.servers {
+		for _, obj := range s.replObjects {
+			if obj.Bytes() != 0 {
+				t.Fatal("phantom write materialized backup bytes")
+			}
+		}
+	}
+}
+
+// Satellite: a recovered process runs at nominal speed again (the
+// restart clears any straggle), while flaky probabilities model the disk
+// behind it and survive the restart.
+func TestReplRecoverResetsStraggleKeepsFlaky(t *testing.T) {
+	_, fs := testbed(t)
+	fs.Straggle(0, 8)
+	fs.SetFlaky(0, 0.25, 0.5)
+	fs.Crash(0)
+	fs.Recover(0)
+	s := fs.Servers()[0]
+	if s.SlowFactor != 1 {
+		t.Fatalf("SlowFactor = %v after recovery, want 1", s.SlowFactor)
+	}
+	if s.flakyErrP != 0.25 || s.flakyDropP != 0.5 {
+		t.Fatalf("flaky probabilities %v/%v did not survive recovery", s.flakyErrP, s.flakyDropP)
+	}
+}
+
+// Satellite: Crash, Recover and Health key the MDS health table the same
+// way — by the server's ID.
+func TestReplHealthKeyingAgrees(t *testing.T) {
+	_, fs := testbed(t)
+	fs.Crash(3)
+	if fs.Health(3) != Down {
+		t.Fatal("Health(3) does not see the crash")
+	}
+	if fs.health[fs.Servers()[3].ID] != Down {
+		t.Fatal("health table not keyed by server ID")
+	}
+	fs.Recover(3)
+	if fs.Health(3) != Healthy {
+		t.Fatal("Health(3) does not see the recovery")
+	}
+}
+
+func TestReplStatusSnapshots(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	mustCreateRepl(t, e, c, "data", st, 2)
+
+	if fs.ReplStatus("nope") != nil {
+		t.Fatal("unknown file must report nil status")
+	}
+	statuses := fs.ReplStatus("data")
+	if len(statuses) != 8 {
+		t.Fatalf("got %d slot statuses, want 8", len(statuses))
+	}
+	for slot, status := range statuses {
+		if status.Slot != slot || !status.Available || status.Serving != slot {
+			t.Fatalf("slot %d status %+v", slot, status)
+		}
+		if len(status.Members) != 2 {
+			t.Fatalf("slot %d has %d members, want 2", slot, len(status.Members))
+		}
+	}
+	fs.Crash(2)
+	status := fs.ReplStatus("data")[2]
+	if status.Serving == 2 || !status.Available {
+		t.Fatalf("slot 2 after crash: %+v", status)
+	}
+}
+
+func TestReplRemoveCleansBackupObjects(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+	e.Schedule(0, func() {
+		f.WriteAt(fill(32, 512<<10), 0, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			c.Remove("data", func(err error) {
+				if err != nil {
+					t.Errorf("remove: %v", err)
+				}
+			})
+		})
+	})
+	e.Run()
+	for _, s := range fs.servers {
+		if len(s.replObjects) != 0 {
+			t.Fatalf("server %s still holds %d backup objects", s.Name, len(s.replObjects))
+		}
+	}
+	if len(fs.replFiles) != 0 {
+		t.Fatal("removed file still registered for crash hooks")
+	}
+}
+
+func TestReplChaosDeterministicFromSeed(t *testing.T) {
+	scenario := func() (FaultStats, ReplStats, uint64) {
+		e, fs := testbed(t)
+		fs.ClientPolicy = retryPolicy()
+		c := fs.NewClient("c0")
+		st := layout.Fixed(6, 2, 64<<10)
+		f := mustCreateRepl(t, e, c, "data", st, 2)
+		payload := fill(33, 1<<20)
+		e.Schedule(0, func() {
+			f.WriteAt(payload, 0, func(error) {})
+		})
+		e.Schedule(2*sim.Millisecond, func() { fs.Crash(0) })
+		e.Schedule(40*sim.Millisecond, func() { fs.Recover(0) })
+		e.Schedule(60*sim.Millisecond, func() { fs.Crash(1) })
+		e.Schedule(90*sim.Millisecond, func() { fs.Recover(1) })
+		e.Run()
+		return fs.Faults, fs.Repl, fs.engine.Processed
+	}
+	f1, r1, n1 := scenario()
+	f2, r2, n2 := scenario()
+	if f1 != f2 || r1 != r2 || n1 != n2 {
+		t.Fatalf("chaos replay diverged:\n%+v %+v %d\n%+v %+v %d", f1, r1, n1, f2, r2, n2)
+	}
+}
+
+func TestReplCreateRejectsBadSpec(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	var gotErr error
+	var settled bool
+	e.Schedule(0, func() {
+		spec := repl.Spec{Groups: [][]int{{0, 99}}}
+		c.CreateReplicated("bad", st, spec, func(_ *File, err error) { settled, gotErr = true, err })
+	})
+	e.Run()
+	if !settled {
+		t.Fatal("create never settled")
+	}
+	if gotErr == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, exists := fs.files["bad"]; exists {
+		t.Fatal("rejected create left a file behind")
+	}
+	if errors.Is(gotErr, ErrUnavailable) {
+		t.Fatal("spec validation must not masquerade as unavailability")
+	}
+}

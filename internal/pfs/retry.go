@@ -90,6 +90,10 @@ func (o *subOp) settle(data []byte, err error) {
 // outcome resolves the attempt; the losers find resolved set and fall
 // silent, so late completions never touch freed state.
 func (o *subOp) run() {
+	if rs := o.f.meta.Repl; rs != nil {
+		o.runRepl(rs)
+		return
+	}
 	c := o.f.client
 	p := c.Policy
 	fs := c.fs

@@ -1,0 +1,95 @@
+package repl
+
+import (
+	"fmt"
+
+	"harl/internal/layout"
+)
+
+// Spec is a replica placement for one file: Groups[slot] lists the
+// server IDs replicating layout slot slot, primary first. The primary
+// must be the slot's own server so unreplicated data placement (and the
+// r=1 protocol) is unchanged.
+type Spec struct {
+	Groups [][]int
+}
+
+// MaxR returns the largest group size.
+func (s Spec) MaxR() int {
+	r := 0
+	for _, g := range s.Groups {
+		if len(g) > r {
+			r = len(g)
+		}
+	}
+	return r
+}
+
+// Validate checks the spec against a cluster of the given size: one
+// group per slot, slot as its own primary, distinct in-range members.
+func (s Spec) Validate(slots, servers int) error {
+	if len(s.Groups) != slots {
+		return fmt.Errorf("repl: spec covers %d slots, layout has %d", len(s.Groups), slots)
+	}
+	for slot, g := range s.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("repl: slot %d has an empty replica group", slot)
+		}
+		if g[0] != slot {
+			return fmt.Errorf("repl: slot %d's primary is server %d, must be the slot itself", slot, g[0])
+		}
+		seen := make(map[int]bool, len(g))
+		for _, id := range g {
+			if id < 0 || id >= servers {
+				return fmt.Errorf("repl: slot %d member %d out of range [0,%d)", slot, id, servers)
+			}
+			if seen[id] {
+				return fmt.Errorf("repl: slot %d has duplicate member %d", slot, id)
+			}
+			seen[id] = true
+		}
+	}
+	return nil
+}
+
+// Place chooses replica sets for every slot of a two-tier striping:
+// backups stay in the primary's tier (the replica serves reads after a
+// promotion, so it should match the primary's performance class),
+// spilling into the other tier only when the tier is smaller than r.
+// rotate staggers the backup ring per region so replica load spreads
+// across the tier instead of pairing servers statically. r is capped
+// at the cluster size; r <= 1 yields singleton groups (no
+// replication). The placement is deterministic in (st, r, rotate).
+func Place(st layout.Striping, r, rotate int) Spec {
+	total := st.M + st.N
+	if r > total {
+		r = total
+	}
+	if rotate < 0 {
+		rotate = -rotate
+	}
+	spec := Spec{Groups: make([][]int, total)}
+	for slot := 0; slot < total; slot++ {
+		tierLo, tierN := 0, st.M
+		otherLo, otherN := st.M, st.N
+		if slot >= st.M {
+			tierLo, tierN = st.M, st.N
+			otherLo, otherN = 0, st.M
+		}
+		members := []int{slot}
+		// Ring walk over the primary's tier, offset by rotate: k spans a
+		// full period, hitting every tier member once (the primary is
+		// skipped when the walk reaches it).
+		for k := 1; len(members) < r && k <= tierN; k++ {
+			cand := tierLo + ((slot-tierLo)+rotate+k)%tierN
+			if cand != slot {
+				members = append(members, cand)
+			}
+		}
+		for k := 0; len(members) < r && k < otherN; k++ {
+			members = append(members, otherLo+(slot+rotate+k)%otherN)
+		}
+		spec.Groups[slot] = members
+	}
+	return spec
+}

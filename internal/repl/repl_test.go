@@ -1,0 +1,372 @@
+package repl
+
+import (
+	"reflect"
+	"testing"
+
+	"harl/internal/layout"
+)
+
+func TestReplPlaceTierAffinity(t *testing.T) {
+	st := layout.Striping{M: 4, N: 4, H: 64 << 10, S: 64 << 10}
+	spec := Place(st, 3, 0)
+	if err := spec.Validate(8, 8); err != nil {
+		t.Fatal(err)
+	}
+	for slot, g := range spec.Groups {
+		if len(g) != 3 {
+			t.Fatalf("slot %d: group size %d, want 3", slot, len(g))
+		}
+		for _, id := range g {
+			if (slot < 4) != (id < 4) {
+				t.Errorf("slot %d: member %d crosses tiers", slot, id)
+			}
+		}
+	}
+}
+
+func TestReplPlaceSpillsSmallTier(t *testing.T) {
+	st := layout.Striping{M: 2, N: 4, H: 64 << 10, S: 64 << 10}
+	spec := Place(st, 3, 0)
+	if err := spec.Validate(6, 6); err != nil {
+		t.Fatal(err)
+	}
+	// The 2-server H tier cannot hold 3 replicas; groups spill into the
+	// S tier but stay distinct and primary-first.
+	for slot := 0; slot < 2; slot++ {
+		g := spec.Groups[slot]
+		if len(g) != 3 || g[0] != slot {
+			t.Fatalf("slot %d: group %v", slot, g)
+		}
+	}
+}
+
+func TestReplPlaceRotationSpreadsBackups(t *testing.T) {
+	st := layout.Striping{M: 4, N: 4, H: 64 << 10, S: 64 << 10}
+	a := Place(st, 2, 0)
+	b := Place(st, 2, 1)
+	if reflect.DeepEqual(a.Groups, b.Groups) {
+		t.Fatal("rotation did not change backup choice")
+	}
+	// Determinism: same inputs, same placement.
+	if !reflect.DeepEqual(a.Groups, Place(st, 2, 0).Groups) {
+		t.Fatal("placement is not deterministic")
+	}
+}
+
+func TestReplPlaceCapsAtClusterSize(t *testing.T) {
+	st := layout.Striping{M: 1, N: 2, H: 64 << 10, S: 64 << 10}
+	spec := Place(st, 9, 0)
+	for slot, g := range spec.Groups {
+		if len(g) != 3 {
+			t.Fatalf("slot %d: group size %d, want 3 (cluster size)", slot, len(g))
+		}
+	}
+	if err := spec.Validate(3, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplChainAssignAndAck(t *testing.T) {
+	g := NewGroup(0, []int{0, 1, 2})
+	if sid, ok := g.Serving(); !ok || sid != 0 {
+		t.Fatalf("fresh group serving = %d,%v", sid, ok)
+	}
+	rec, req := g.Assign(0, 100, nil)
+	if rec.Seq != 1 || len(req) != 3 || req[0] != 0 {
+		t.Fatalf("assign: rec %+v required %v", rec, req)
+	}
+	for _, id := range req {
+		g.Commit(id, rec.Seq)
+	}
+	g.Ack(rec.Seq)
+	if g.CP() != 1 || g.MemberCP(2) != 1 {
+		t.Fatalf("cp=%d memberCP(2)=%d", g.CP(), g.MemberCP(2))
+	}
+}
+
+func TestReplGaplessCommitViaAheadSet(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	r1, _ := g.Assign(0, 10, nil)
+	r2, _ := g.Assign(10, 10, nil)
+	// Member 1 commits out of order: seq 2 first (seq 1 dropped in
+	// flight). Its commit point must not jump the gap.
+	g.Commit(1, r2.Seq)
+	if g.MemberCP(1) != 0 {
+		t.Fatalf("memberCP(1)=%d after out-of-order commit, want 0", g.MemberCP(1))
+	}
+	g.Commit(1, r1.Seq)
+	if g.MemberCP(1) != 2 {
+		t.Fatalf("memberCP(1)=%d after filling gap, want 2", g.MemberCP(1))
+	}
+}
+
+func TestReplViewChangePromotesLatestData(t *testing.T) {
+	g := NewGroup(0, []int{0, 1, 2})
+	// Seq 1 fully replicated and acked; seq 2 committed on members 0,2
+	// and acked; member 1 missed it (still in flight when 0 died).
+	r1, _ := g.Assign(0, 10, nil)
+	for _, id := range []int{0, 1, 2} {
+		g.Commit(id, r1.Seq)
+	}
+	g.Ack(r1.Seq)
+	r2, _ := g.Assign(10, 10, nil)
+	g.Commit(0, r2.Seq)
+	g.Commit(2, r2.Seq)
+	g.Ack(r2.Seq)
+
+	if !g.MemberDown(0) {
+		t.Fatal("crashing the serving member must change the view")
+	}
+	sid, ok := g.Serving()
+	if !ok || sid != 2 {
+		t.Fatalf("new serving = %d,%v; want member 2 (latest data)", sid, ok)
+	}
+	if g.View() != 1 {
+		t.Fatalf("view=%d, want 1", g.View())
+	}
+	if g.Chained(1) {
+		t.Fatal("lagging member 1 must not be chained")
+	}
+}
+
+func TestReplViewChangeTruncatesUnacked(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	r1, _ := g.Assign(0, 10, nil)
+	g.Commit(0, r1.Seq)
+	g.Commit(1, r1.Seq)
+	g.Ack(r1.Seq)
+	// Seq 2 assigned but never acked before the serving member dies.
+	r2, _ := g.Assign(10, 10, nil)
+	g.Commit(0, r2.Seq)
+	g.MemberDown(0)
+
+	if _, ok := g.RecordAt(r2.Seq); ok {
+		t.Fatal("unacked record survived view change")
+	}
+	if got := g.FP(); got != 2 {
+		t.Fatalf("fp=%d; sequence numbers must not be reused", got)
+	}
+	// A stale commit of the truncated record is ignored.
+	if g.Commit(1, r2.Seq) {
+		t.Fatal("commit of truncated record was recorded")
+	}
+	// Member 1 holds everything acked: it serves, and new assignments
+	// continue past the abandoned number.
+	if sid, ok := g.Serving(); !ok || sid != 1 {
+		t.Fatalf("serving=%d,%v", sid, ok)
+	}
+	r3, _ := g.Assign(20, 10, nil)
+	if r3.Seq != 3 {
+		t.Fatalf("next seq=%d, want 3", r3.Seq)
+	}
+}
+
+func TestReplDoubleCrashUnavailableThenRecovers(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	r1, _ := g.Assign(0, 10, nil)
+	g.Commit(0, r1.Seq)
+	g.Commit(1, r1.Seq)
+	g.Ack(r1.Seq)
+	g.MemberDown(0)
+	g.MemberDown(1)
+	if _, ok := g.Serving(); ok {
+		t.Fatal("group with no live members reported a serving replica")
+	}
+	g.MemberUp(1)
+	if sid, ok := g.Serving(); !ok || sid != 1 {
+		t.Fatalf("after recovery serving=%d,%v", sid, ok)
+	}
+}
+
+func TestReplIneligibleServingUntilDataRecovers(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	r1, _ := g.Assign(0, 10, nil)
+	g.Commit(0, r1.Seq)
+	g.Commit(1, r1.Seq)
+	g.Ack(r1.Seq)
+	r2, _ := g.Assign(10, 10, nil)
+	g.Commit(0, r2.Seq)
+	g.Commit(1, r2.Seq)
+	g.Ack(r2.Seq)
+	// Both die; the member that recovers first was lagging at truncation
+	// time? No — both hold cp=2. Simulate stale recovery by crashing 1
+	// early (before seq 2).
+	g2 := NewGroup(0, []int{0, 1})
+	ra, _ := g2.Assign(0, 10, nil)
+	g2.Commit(0, ra.Seq)
+	g2.Commit(1, ra.Seq)
+	g2.Ack(ra.Seq)
+	g2.MemberDown(1) // backup dies at cp=1
+	rb, _ := g2.Assign(10, 10, nil)
+	g2.Commit(0, rb.Seq)
+	g2.Ack(rb.Seq) // acked by serving alone (backup dead)
+	g2.MemberDown(0)
+	g2.MemberUp(1) // stale member returns first
+	if _, ok := g2.Serving(); ok {
+		t.Fatal("stale member served despite missing acked data")
+	}
+	g2.MemberUp(0)
+	if sid, ok := g2.Serving(); !ok || sid != 0 {
+		t.Fatalf("serving=%d,%v; want the member with cp=2", sid, ok)
+	}
+}
+
+func TestReplCatchUpReplaysGaps(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	r1, _ := g.Assign(0, 10, nil)
+	g.Commit(0, r1.Seq)
+	g.Commit(1, r1.Seq)
+	g.Ack(r1.Seq)
+	g.MemberDown(1)
+	r2, _ := g.Assign(10, 10, nil)
+	g.Commit(0, r2.Seq)
+	g.Ack(r2.Seq)
+	r3, _ := g.Assign(20, 10, nil)
+	g.Commit(0, r3.Seq)
+	g.Ack(r3.Seq)
+	g.MemberUp(1)
+	if g.Chained(1) {
+		t.Fatal("recovered member with gaps rejoined the chain early")
+	}
+	rec, src, st := g.NextCatchUp(1)
+	if st != CatchReady || rec.Seq != r2.Seq || src != 0 {
+		t.Fatalf("first gap: rec %+v src %d status %v", rec, src, st)
+	}
+	g.Commit(1, r2.Seq)
+	rec, src, st = g.NextCatchUp(1)
+	if st != CatchReady || rec.Seq != r3.Seq {
+		t.Fatalf("second gap: rec %+v src %d status %v", rec, src, st)
+	}
+	g.Commit(1, r3.Seq)
+	if _, _, st := g.NextCatchUp(1); st != CatchCaughtUp {
+		t.Fatalf("status %v, want caught up", st)
+	}
+	if !g.Chained(1) {
+		t.Fatal("caught-up member must rejoin the chain")
+	}
+}
+
+func TestReplCatchUpStallsWithoutSource(t *testing.T) {
+	g := NewGroup(0, []int{0, 1, 2})
+	r1, _ := g.Assign(0, 10, nil)
+	g.Commit(0, r1.Seq)
+	g.Commit(1, r1.Seq)
+	g.Commit(2, r1.Seq)
+	g.Ack(r1.Seq)
+	g.MemberDown(2)
+	r2, _ := g.Assign(10, 10, nil)
+	g.Commit(0, r2.Seq)
+	g.Commit(1, r2.Seq)
+	g.Ack(r2.Seq)
+	g.MemberDown(0) // the only remaining holders of seq 2: 0 (dead), 1
+	g.MemberUp(2)
+	rec, src, st := g.NextCatchUp(2)
+	if st != CatchReady || src != 1 || rec.Seq != r2.Seq {
+		t.Fatalf("rec %+v src %d status %v", rec, src, st)
+	}
+	g.MemberDown(1)
+	if _, _, st := g.NextCatchUp(2); st != CatchStalled {
+		t.Fatalf("status %v, want stalled (no live source)", st)
+	}
+}
+
+func TestReplOverwriteClassificationAndQuorum(t *testing.T) {
+	g := NewGroup(0, []int{0, 1, 2})
+	if g.IsOverwrite(0, 10) {
+		t.Fatal("fresh range classified as overwrite")
+	}
+	g.Assign(0, 100, nil)
+	if !g.IsOverwrite(20, 30) {
+		t.Fatal("covered range not classified as overwrite")
+	}
+	if g.IsOverwrite(90, 20) {
+		t.Fatal("range crossing the covered extent classified as overwrite")
+	}
+	if q := g.Quorum(); q != 2 {
+		t.Fatalf("quorum=%d, want 2", q)
+	}
+	// The quorum tracks the live view: the oracle that excused a dead
+	// member from the chain also shrinks the overwrite majority.
+	g.MemberDown(2)
+	if q := g.Quorum(); q != 2 {
+		t.Fatalf("quorum after one death=%d, want 2", q)
+	}
+	g.MemberDown(1)
+	if q := g.Quorum(); q != 1 {
+		t.Fatalf("quorum after two deaths=%d, want 1", q)
+	}
+	g.MemberUp(1)
+	g.MemberUp(2)
+	if q := g.Quorum(); q != 2 {
+		t.Fatalf("quorum after rejoin=%d, want 2", q)
+	}
+}
+
+func TestReplLogPruneKeepsCatchUpRecords(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	g.MemberDown(1)
+	var last Record
+	for i := 0; i < pruneAfter+64; i++ {
+		rec, _ := g.Assign(int64(i)*10, 10, nil)
+		g.Commit(0, rec.Seq)
+		g.Ack(rec.Seq)
+		last = rec
+	}
+	// Member 1 is dead at cp=0: it pins the global lower bound, so every
+	// record must survive pruning for its catch-up.
+	g.MemberUp(1)
+	for seq := uint64(1); seq <= last.Seq; seq++ {
+		if _, ok := g.RecordAt(seq); !ok {
+			t.Fatalf("record %d pruned while member 1 still needs it", seq)
+		}
+	}
+}
+
+func TestReplBeginCatchUpWithdrawsAheadCredit(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	r1, _ := g.Assign(0, 10, nil)
+	r2, _ := g.Assign(10, 10, nil)
+	g.Commit(0, r1.Seq)
+	g.Commit(0, r2.Seq)
+	g.Commit(1, r2.Seq) // member 1: gap at seq 1, seq 2 ahead
+	g.Ack(r2.Seq)
+	if g.CommitCount(r2.Seq) != 2 {
+		t.Fatalf("commit count %d", g.CommitCount(r2.Seq))
+	}
+	g.BeginCatchUp(1)
+	if g.Chained(1) {
+		t.Fatal("member in catch-up stayed chained")
+	}
+	if g.CommittedBy(1, r2.Seq) {
+		t.Fatal("ahead credit survived BeginCatchUp")
+	}
+	// Ordered replay rewrites 1 then 2, re-crediting both.
+	g.Replayed(1, r1.Seq)
+	g.Replayed(1, r2.Seq)
+	if g.MemberCP(1) != r2.Seq {
+		t.Fatalf("memberCP(1)=%d after replay, want %d", g.MemberCP(1), r2.Seq)
+	}
+	if _, _, st := g.NextCatchUp(1); st != CatchCaughtUp {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestReplReelectPromotesPastIneligibleServing(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	r1, _ := g.Assign(0, 10, nil)
+	// Serving member 0 flaky-erred its own commit; backup committed, the
+	// chain rule excuses nobody but a later ack can still advance CP via
+	// the quorum path. Model it directly: backup commits, group acks.
+	g.Commit(1, r1.Seq)
+	g.Ack(r1.Seq)
+	if _, ok := g.Serving(); ok {
+		t.Fatal("serving without the acked record reported eligible")
+	}
+	if !g.Reelect() {
+		t.Fatal("reelect did not open a new view")
+	}
+	if sid, ok := g.Serving(); !ok || sid != 1 {
+		t.Fatalf("serving=%d,%v after reelect", sid, ok)
+	}
+}
