@@ -277,3 +277,46 @@ func mustPanic(t *testing.T, fn func()) {
 	}()
 	fn()
 }
+
+func TestStoreCopyFromOverlays(t *testing.T) {
+	src := NewStore()
+	a := bytes.Repeat([]byte{0xAA}, 100)
+	b := bytes.Repeat([]byte{0xBB}, 200)
+	src.WriteAt(a, 0)
+	src.WriteAt(b, 3*pageSize+17)
+
+	dst := NewStore()
+	keep := bytes.Repeat([]byte{0xCC}, 50)
+	dst.WriteAt(keep, pageSize) // a page src never touched
+
+	dst.CopyFrom(src)
+	buf := make([]byte, 100)
+	dst.ReadAt(buf, 0)
+	if !bytes.Equal(buf, a) {
+		t.Fatal("copied page 0 does not match the source")
+	}
+	buf = make([]byte, 200)
+	dst.ReadAt(buf, 3*pageSize+17)
+	if !bytes.Equal(buf, b) {
+		t.Fatal("copied high page does not match the source")
+	}
+	buf = make([]byte, 50)
+	dst.ReadAt(buf, pageSize)
+	if !bytes.Equal(buf, keep) {
+		t.Fatal("a source hole clobbered the destination's own page")
+	}
+	// Overlay is a clone, not an alias: mutating the source afterwards
+	// must not bleed into the copy.
+	src.WriteAt(bytes.Repeat([]byte{0xDD}, 100), 0)
+	buf = make([]byte, 100)
+	dst.ReadAt(buf, 0)
+	if !bytes.Equal(buf, a) {
+		t.Fatal("CopyFrom aliased the source's pages")
+	}
+	// Sparse stays sparse: copying from an all-hole store adds nothing.
+	before := dst.Pages()
+	dst.CopyFrom(NewStore())
+	if dst.Pages() != before {
+		t.Fatal("copying an empty store allocated pages")
+	}
+}

@@ -72,3 +72,19 @@ func (s *Store) Bytes() int64 {
 
 // Pages reports how many pages are allocated.
 func (s *Store) Pages() int { return len(s.pages) }
+
+// CopyFrom overlays src's allocated pages onto s, cloning their
+// contents; pages src never touched are left as they are. Sparse stays
+// sparse: a phantom (all-hole) source copies nothing, and the untouched
+// ranges of s keep reading back as before. This is the full-image
+// transfer a replica resync installs.
+func (s *Store) CopyFrom(src *Store) {
+	for pageNo, page := range src.pages {
+		dst, ok := s.pages[pageNo]
+		if !ok {
+			dst = make([]byte, pageSize)
+			s.pages[pageNo] = dst
+		}
+		copy(dst, page)
+	}
+}

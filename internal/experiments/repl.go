@@ -578,6 +578,8 @@ func (rep *ReplStatusReport) WriteText(w io.Writer) error {
 				state := "ok"
 				if !m.Alive {
 					state = "dead"
+				} else if m.Stale {
+					state = "stale"
 				} else if m.Lag > 0 || !m.Chained {
 					state = "lagging"
 				}

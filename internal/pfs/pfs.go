@@ -66,8 +66,11 @@ type Server struct {
 	objects map[uint64]*device.Store
 
 	// replObjects holds backup copies of other slots' objects for
-	// replicated files (repl.go), keyed by (file, slot). Allocated lazily;
-	// replica bytes are protocol overhead and are not counted in stored.
+	// replicated files (repl.go), keyed by (file, slot). Allocated lazily.
+	// A replicated write that lands in this server's own datafile counts
+	// toward stored exactly like an unreplicated one (applyReplica);
+	// backup-object bytes are protocol overhead and are not counted,
+	// matching remove(), which refunds only datafile bytes.
 	replObjects map[replKey]*device.Store
 
 	stored int64 // bytes resident, for capacity accounting

@@ -44,6 +44,7 @@ const (
 	replUnavailDelay   = 250 * sim.Microsecond
 	replCatchStepDelay = 2 * sim.Millisecond  // retry delay after a flaky replay step
 	replCatchStepWatch = 20 * sim.Millisecond // watchdog for silently dropped replay steps
+	replResyncWatch    = 2 * sim.Second       // watchdog for a silently dropped full-image resync
 	replCatchMaxTries  = 64
 )
 
@@ -57,8 +58,10 @@ type ReplStats struct {
 	Promotions     uint64 // view changes that moved the serving replica
 	Unavailable    uint64 // requests refused with no eligible serving replica
 	CatchUps       uint64 // catch-up sessions completed
-	CatchUpRecords uint64 // log records replayed to lagging replicas
-	CatchUpBytes   uint64 // bytes replayed to lagging replicas
+	CatchUpRecords uint64 // log records successfully replayed to lagging replicas
+	CatchUpBytes   uint64 // bytes successfully replayed to lagging replicas
+	Resyncs        uint64 // full-image resyncs installed on log-pruned members
+	ResyncBytes    uint64 // image bytes shipped by full resyncs
 }
 
 // replKey addresses one slot's backup object on a server.
@@ -84,6 +87,36 @@ func (s *Server) storeFor(fileID uint64, slot int) *device.Store {
 		s.replObjects[key] = obj
 	}
 	return obj
+}
+
+// applyReplica writes a record's payload into the member's copy of a
+// slot. Writes landing in the member's own datafile keep capacity
+// accounting in step with the unreplicated path (diskop.go), so
+// Utilization, pfs_stored_bytes and remove()'s refund see replicated
+// files too; backup objects are protocol overhead and deliberately
+// uncounted, matching remove(), which refunds only datafile bytes.
+func (s *Server) applyReplica(fileID uint64, slot int, data []byte, local int64) {
+	if data == nil {
+		return
+	}
+	obj := s.storeFor(fileID, slot)
+	before := obj.Bytes()
+	obj.WriteAt(data, local)
+	if slot == s.ID {
+		s.stored += obj.Bytes() - before
+	}
+}
+
+// installImage clones source's store pages for one slot into this
+// server's copy — the full-image transfer of a resync — under the same
+// capacity-accounting rule as applyReplica.
+func (s *Server) installImage(fileID uint64, slot int, source *Server) {
+	dst := s.storeFor(fileID, slot)
+	before := dst.Bytes()
+	dst.CopyFrom(source.storeFor(fileID, slot))
+	if slot == s.ID {
+		s.stored += dst.Bytes() - before
+	}
 }
 
 // replState is a replicated file's protocol state: the placement spec and
@@ -376,9 +409,7 @@ func (fs *FS) replApply(meta *FileMeta, rg *replGroup, member *Server, rec repl.
 	if cs := rg.cu[member.ID]; cs != nil && cs.active {
 		return fmt.Errorf("%w: replica %s is catching up", ErrUnavailable, member.Name)
 	}
-	if rec.Data != nil {
-		member.storeFor(meta.ID, rg.g.Slot()).WriteAt(rec.Data, rec.Local)
-	}
+	member.applyReplica(meta.ID, rg.g.Slot(), rec.Data, rec.Local)
 	return nil
 }
 
@@ -392,6 +423,17 @@ func (fs *FS) replCommit(meta *FileMeta, rg *replGroup, server int, seq uint64, 
 	if err != nil {
 		fs.failPending(rg, server, seq, err)
 		fs.startCatchUp(meta, rg, server)
+		return
+	}
+	if cs := rg.cu[server]; cs != nil && cs.active {
+		// The success report was already in flight when the member's
+		// catch-up session began. BeginCatchUp withdrew the member's
+		// out-of-order credit precisely so the ordered replay rewrites
+		// every gap record; crediting this one now would let NextCatchUp
+		// skip it while replaying older overlapping records clobbers its
+		// bytes — the member could then serve stale acked data after a
+		// promotion. Drop the report, mirroring the replApply guard: the
+		// record is logged and the session replays it in sequence.
 		return
 	}
 	rg.g.Commit(server, seq)
@@ -622,6 +664,18 @@ func (fs *FS) startCatchUp(meta *FileMeta, rg *replGroup, server int) {
 	fs.catchStep(meta, rg, server, cs.token)
 }
 
+// watchHorizon returns the watchdog deadline for a replay step or
+// resync: the base horizon doubled per consecutive failed try (capped).
+// Supersession (token bump) silences a chain that is merely slow, so
+// without the backoff a member whose disk op reliably outlasts the base
+// horizon would be superseded forever and never land a step.
+func watchHorizon(base sim.Duration, tries int) sim.Duration {
+	if tries > 6 {
+		tries = 6
+	}
+	return base << uint(tries)
+}
+
 // catchStep replays one log record to a catching-up member and chains
 // itself until the member is caught up (rejoin, maybe re-elect), the
 // replay stalls (no live replica holds the next record — a later
@@ -649,9 +703,10 @@ func (fs *FS) catchStep(meta *FileMeta, rg *replGroup, server int, token int) {
 	case repl.CatchStalled:
 		cs.active = false
 		return
+	case repl.CatchResync:
+		fs.catchResync(meta, rg, server, src, token)
+		return
 	}
-	fs.Repl.CatchUpRecords++
-	fs.Repl.CatchUpBytes += uint64(rec.Size)
 	member := fs.servers[server]
 	source := fs.servers[src]
 	fs.net.TransferSpan(0, source.node, member.node, rec.Size, func(sim.Time) {
@@ -669,9 +724,9 @@ func (fs *FS) catchStep(meta *FileMeta, rg *replGroup, server int, token int) {
 				return
 			}
 			cs.tries = 0
-			if rec.Data != nil {
-				member.storeFor(meta.ID, g.Slot()).WriteAt(rec.Data, rec.Local)
-			}
+			fs.Repl.CatchUpRecords++
+			fs.Repl.CatchUpBytes += uint64(rec.Size)
+			member.applyReplica(meta.ID, g.Slot(), rec.Data, rec.Local)
 			g.Replayed(server, rec.Seq)
 			if p := findPending(rg, rec.Seq); p != nil {
 				fs.checkPending(meta, rg, p)
@@ -680,9 +735,11 @@ func (fs *FS) catchStep(meta *FileMeta, rg *replGroup, server int, token int) {
 		})
 	})
 	// Watchdog: a flaky drop swallows the replay step with the session
-	// still active. Re-drive it; a duplicated replay rewrites the same
-	// bytes and Replayed tolerates the repeat.
-	fs.engine.Schedule(replCatchStepWatch, func() {
+	// still active. Supersede the chain before re-driving — bumping the
+	// token silences a step that was merely queued behind other disk
+	// work, so a slow step cannot race a duplicate replay chain (and its
+	// own watchdog) against this one or double-count the replay.
+	fs.engine.Schedule(watchHorizon(replCatchStepWatch, cs.tries), func() {
 		if cs.token != token || !cs.active {
 			return
 		}
@@ -694,6 +751,74 @@ func (fs *FS) catchStep(meta *FileMeta, rg *replGroup, server int, token int) {
 			cs.active = false
 			return
 		}
-		fs.catchStep(meta, rg, server, token)
+		cs.token++
+		fs.catchStep(meta, rg, server, cs.token)
+	})
+}
+
+// catchResync ships a whole-slot image to a member whose replay gap was
+// hard-pruned from the log (repl.CatchResync): the source's covered
+// extent travels as one transfer, lands through the member's disk, and
+// the source's store pages and commit point are installed as a snapshot
+// (repl.Group.Resynced). Ordered replay of the remaining log records
+// resumes from the installed point. The source's disk contents are read
+// at install time, so the image and the commit point it carries are a
+// consistent pair even if the source crashed mid-transfer.
+func (fs *FS) catchResync(meta *FileMeta, rg *replGroup, server, src, token int) {
+	cs := rg.cu[server]
+	g := rg.g
+	size := g.Covered()
+	member := fs.servers[server]
+	source := fs.servers[src]
+	replan := func() {
+		cs.tries++
+		if cs.tries > replCatchMaxTries {
+			cs.active = false
+			return
+		}
+		fs.engine.Schedule(replCatchStepDelay, func() { fs.catchStep(meta, rg, server, token) })
+	}
+	fs.net.TransferSpan(0, source.node, member.node, size, func(sim.Time) {
+		member.servePhantom(device.Write, 0, size, 0, func(err error) {
+			if cs.token != token || !cs.active {
+				return
+			}
+			if err != nil {
+				replan()
+				return
+			}
+			if g.Stale(src) {
+				// The source was itself overtaken by a hard prune while the
+				// image was in flight; its commit point no longer clears the
+				// floor. Re-plan against a fresh source.
+				replan()
+				return
+			}
+			cs.tries = 0
+			fs.Repl.Resyncs++
+			fs.Repl.ResyncBytes += uint64(size)
+			member.installImage(meta.ID, g.Slot(), source)
+			g.Resynced(server, src)
+			fs.annotate(member, "repl.resync")
+			fs.catchStep(meta, rg, server, token)
+		})
+	})
+	// Watchdog, generous enough for a full-image transfer: re-drive only
+	// if the member is still stale (no install landed), superseding the
+	// possibly still-queued chain first.
+	fs.engine.Schedule(watchHorizon(replResyncWatch, cs.tries), func() {
+		if cs.token != token || !cs.active {
+			return
+		}
+		if !g.Stale(server) {
+			return // the image landed; replay moved on
+		}
+		cs.tries++
+		if cs.tries > replCatchMaxTries {
+			cs.active = false
+			return
+		}
+		cs.token++
+		fs.catchStep(meta, rg, server, cs.token)
 	})
 }

@@ -517,3 +517,237 @@ func TestReplCreateRejectsBadSpec(t *testing.T) {
 		t.Fatal("spec validation must not masquerade as unavailability")
 	}
 }
+
+// Regression: a backup's commit report that was already in flight when its
+// catch-up session opened must be dropped, not credited. Crediting it
+// would let NextCatchUp skip the record while the ordered replay of an
+// earlier overlapping record clobbers its bytes — the member could then
+// reach the group commit point holding stale data and serve it after a
+// promotion.
+func TestReplCommitDroppedDuringCatchUp(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+	meta := f.meta
+
+	base := fill(90, 64<<10)
+	e.Schedule(0, func() {
+		f.WriteAt(base, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+		})
+	})
+	e.Run()
+
+	// Stage the hazard by hand on slot 0's group: two acked overlapping
+	// records, with the backup having applied only the NEWER one — its
+	// commit report still on the wire when the session begins.
+	rg := meta.Repl.groups[0]
+	g := rg.g
+	serving, _ := g.Serving()
+	backup := rg.members[1]
+	recA, _ := g.Assign(0, 8<<10, fill(91, 8<<10))
+	recB, _ := g.Assign(4<<10, 8<<10, fill(92, 8<<10))
+	for _, rec := range []repl.Record{recA, recB} {
+		fs.servers[serving].applyReplica(meta.ID, 0, rec.Data, rec.Local)
+		g.Commit(serving, rec.Seq)
+		g.Ack(rec.Seq)
+	}
+	fs.servers[backup].applyReplica(meta.ID, 0, recB.Data, recB.Local)
+
+	fs.startCatchUp(meta, rg, backup)
+	if cs := rg.cu[backup]; cs == nil || !cs.active {
+		t.Fatal("catch-up session did not open for the lagging backup")
+	}
+	fs.replCommit(meta, rg, backup, recB.Seq, nil)
+	if g.CommittedBy(backup, recB.Seq) {
+		t.Fatal("in-flight commit report credited during an active catch-up session")
+	}
+
+	e.Run()
+	if got := fs.Repl.CatchUpRecords; got != 2 {
+		t.Fatalf("replayed %d records, want both overlapping records", got)
+	}
+	if g.Lag(backup) != 0 || g.MemberCP(backup) != g.CP() {
+		t.Fatalf("backup not healed: lag %d cp %d group cp %d", g.Lag(backup), g.MemberCP(backup), g.CP())
+	}
+	want := make([]byte, 64<<10)
+	got := make([]byte, 64<<10)
+	fs.servers[serving].storeFor(meta.ID, 0).ReadAt(want, 0)
+	fs.servers[backup].storeFor(meta.ID, 0).ReadAt(got, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatal("backup image diverged from serving replica after catch-up")
+	}
+}
+
+// Replicated writes keep capacity accounting in step with the
+// unreplicated path: each slot's primary counts its own datafile bytes,
+// backup objects stay uncounted, and remove refunds exactly what was
+// counted — never driving stored negative.
+func TestReplStoredBytesAccounting(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+
+	payload := fill(93, 512<<10) // page-aligned: sparse accounting is exact
+	e.Schedule(0, func() {
+		f.WriteAt(payload, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+		})
+	})
+	e.Run()
+	var total int64
+	for _, s := range fs.servers {
+		total += s.StoredBytes()
+	}
+	if total != int64(len(payload)) {
+		t.Fatalf("stored %d bytes across servers, want %d (backups uncounted)", total, len(payload))
+	}
+
+	e.Schedule(0, func() {
+		c.Remove("data", func(err error) {
+			if err != nil {
+				t.Errorf("remove: %v", err)
+			}
+		})
+	})
+	e.Run()
+	for _, s := range fs.servers {
+		if s.StoredBytes() != 0 {
+			t.Fatalf("server %s stored %d bytes after remove, want 0", s.Name, s.StoredBytes())
+		}
+	}
+}
+
+// Regression: the catch-up watchdog supersedes a slow replay chain
+// instead of racing a duplicate against it, so a straggling member
+// replays — and counts — each record exactly once, same as a healthy one.
+func TestReplCatchUpCountersImmuneToStraggle(t *testing.T) {
+	scenario := func(straggle float64) (ReplStats, []byte) {
+		e, fs := testbed(t)
+		fs.ClientPolicy = retryPolicy()
+		c := fs.NewClient("c0")
+		st := layout.Fixed(6, 2, 64<<10)
+		f := mustCreateRepl(t, e, c, "data", st, 2)
+		first := fill(94, 512<<10)
+		second := fill(95, 512<<10)
+		e.Schedule(0, func() {
+			f.WriteAt(first, 0, func(err error) {
+				if err != nil {
+					t.Errorf("write 1: %v", err)
+				}
+			})
+		})
+		e.Run()
+		fs.Crash(0)
+		e.Schedule(0, func() {
+			f.WriteAt(second, int64(len(first)), func(err error) {
+				if err != nil {
+					t.Errorf("write 2: %v", err)
+				}
+			})
+		})
+		e.Run()
+		fs.Recover(0)
+		if straggle > 1 {
+			// Slow enough that every replay step outlasts the base
+			// watchdog horizon; the backoff must still land each step.
+			fs.Straggle(0, straggle)
+		}
+		e.Run()
+		var got []byte
+		e.Schedule(0, func() {
+			f.ReadAt(0, int64(len(first)+len(second)), func(data []byte, err error) {
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				got = data
+			})
+		})
+		e.Run()
+		return fs.Repl, got
+	}
+
+	fast, fastData := scenario(1)
+	slow, slowData := scenario(10)
+	if fast.CatchUpRecords == 0 {
+		t.Fatal("scenario triggered no catch-up")
+	}
+	if slow.CatchUpRecords != fast.CatchUpRecords || slow.CatchUpBytes != fast.CatchUpBytes {
+		t.Fatalf("straggle changed replay counters: %d records/%d bytes vs %d/%d",
+			slow.CatchUpRecords, slow.CatchUpBytes, fast.CatchUpRecords, fast.CatchUpBytes)
+	}
+	if !bytes.Equal(fastData, slowData) {
+		t.Fatal("straggling catch-up changed the read-back image")
+	}
+}
+
+// A member that stays down while the hard retention bound prunes its
+// replay gap comes back via a full-image resync and serves correct bytes
+// again.
+func TestReplResyncAfterHardPrune(t *testing.T) {
+	e, fs := testbed(t)
+	c := fs.NewClient("c0")
+	st := layout.Fixed(6, 2, 64<<10)
+	f := mustCreateRepl(t, e, c, "data", st, 2)
+	meta := f.meta
+	rg := meta.Repl.groups[0]
+	backup := rg.members[1]
+
+	payload := fill(96, 64<<10)
+	e.Schedule(0, func() {
+		f.WriteAt(payload, 0, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+		})
+	})
+	e.Run()
+
+	// The backup crashes, then phantom overwrites flood slot 0's log past
+	// the hard retention cap (quorum = live majority = 1, so the serving
+	// replica acks alone). The dead member's gap is pruned away.
+	fs.Crash(backup)
+	const floods = 17000 // > hardPruneRecords in internal/repl
+	var flood func(i int)
+	flood = func(i int) {
+		if i == floods {
+			return
+		}
+		f.WriteZeros(0, 64<<10, func(err error) {
+			if err != nil {
+				t.Errorf("flood write %d: %v", i, err)
+				return
+			}
+			flood(i + 1)
+		})
+	}
+	e.Schedule(0, func() { flood(0) })
+	e.Run()
+	if !rg.g.Stale(backup) {
+		t.Fatal("flooded log never hard-pruned the dead member's gap")
+	}
+
+	fs.Recover(backup)
+	e.Run()
+	if fs.Repl.Resyncs == 0 || fs.Repl.ResyncBytes == 0 {
+		t.Fatalf("stale member healed without a resync: %+v", fs.Repl)
+	}
+	if rg.g.Stale(backup) || rg.g.Lag(backup) != 0 || !rg.g.Chained(backup) {
+		t.Fatalf("resynced member state: stale=%v lag=%d chained=%v",
+			rg.g.Stale(backup), rg.g.Lag(backup), rg.g.Chained(backup))
+	}
+	want := make([]byte, 64<<10)
+	got := make([]byte, 64<<10)
+	fs.servers[0].storeFor(meta.ID, 0).ReadAt(want, 0)
+	fs.servers[backup].storeFor(meta.ID, 0).ReadAt(got, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatal("resynced image diverged from the serving replica")
+	}
+}

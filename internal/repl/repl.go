@@ -18,7 +18,12 @@
 //
 //   - A member's commit point cp[m] only advances through *logged*
 //     records in sequence order, so cp[m] >= seq implies every logged
-//     record with Seq <= seq is present in that member's store.
+//     record with Seq <= seq is present in that member's store. The one
+//     sanctioned exception is Resynced, which installs a full-image
+//     snapshot (store bytes and commit point together) from a member
+//     for which the invariant already holds. A member whose gap records
+//     were hard-pruned is marked stale and its commit point frozen
+//     until such an install.
 //   - The group commit point CP only advances when a write is
 //     acknowledged, and every acknowledgement requires the serving
 //     member's commit; on view change the log is truncated back to CP
@@ -52,6 +57,7 @@ type member struct {
 	id      int  // server ID
 	alive   bool // false between MemberDown and MemberUp
 	chained bool // receives every new assignment directly
+	stale   bool // replay gap hard-pruned; needs a full-image resync
 	cp      uint64
 	ahead   map[uint64]bool // committed seqs beyond the first gap
 }
@@ -60,14 +66,16 @@ type member struct {
 // are server IDs, primary (the slot's own server) first. The zero
 // Group is not usable; construct with NewGroup.
 type Group struct {
-	slot    int
-	members []*member
-	view    int
-	serving int // index into members; -1 when no member is alive
-	fp      uint64
-	cp      uint64
-	covered int64 // high-water mark of assigned Local+Size, for overwrite classification
-	log     []Record
+	slot     int
+	members  []*member
+	view     int
+	serving  int // index into members; -1 when no member is alive
+	fp       uint64
+	cp       uint64
+	covered  int64 // high-water mark of assigned Local+Size, for overwrite classification
+	log      []Record
+	logBytes int64  // retained payload bytes in log
+	floor    uint64 // highest hard-pruned seq; members below it are stale
 }
 
 // NewGroup builds a group for a slot. members lists server IDs with the
@@ -140,6 +148,19 @@ func (g *Group) Chained(server int) bool { return g.members[g.mustIndex(server)]
 // MemberCP returns a member's commit point.
 func (g *Group) MemberCP(server int) uint64 { return g.members[g.mustIndex(server)].cp }
 
+// Stale reports whether a member's replay gap was hard-pruned from the
+// log: it cannot catch up record by record and needs a full-image
+// resync (see NextCatchUp / Resynced).
+func (g *Group) Stale(server int) bool { return g.members[g.mustIndex(server)].stale }
+
+// Covered returns the high-water mark of assigned extent — the logical
+// image size a full resync must ship.
+func (g *Group) Covered() int64 { return g.covered }
+
+// Floor returns the highest hard-pruned sequence number; records at or
+// below it are no longer replayable.
+func (g *Group) Floor() uint64 { return g.floor }
+
 // eligible reports whether the serving member may serve reads and
 // accept writes: it must hold every acknowledged record.
 func (g *Group) eligibleIdx() bool {
@@ -204,6 +225,7 @@ func (g *Group) Assign(local, size int64, data []byte) (Record, []int) {
 	g.fp++
 	rec := Record{Seq: g.fp, Local: local, Size: size, Data: data}
 	g.log = append(g.log, rec)
+	g.logBytes += int64(len(data))
 	if end := local + size; end > g.covered {
 		g.covered = end
 	}
@@ -262,8 +284,14 @@ func (g *Group) RecordAt(seq uint64) (Record, bool) {
 }
 
 // advance walks a member's commit point forward through contiguously
-// committed logged records.
+// committed logged records. A stale member's commit point is frozen:
+// records between its cp and the log floor were hard-pruned, so walking
+// the remaining log would silently jump that gap — only a resync
+// (snapshot install) may move it again.
 func (m *member) advance(g *Group) {
+	if m.stale {
+		return
+	}
 	for {
 		rec, ok := g.nextLogged(m.cp)
 		if !ok || !m.ahead[rec.Seq] {
@@ -281,7 +309,7 @@ func (m *member) advance(g *Group) {
 // commit was newly recorded.
 func (g *Group) Commit(server int, seq uint64) bool {
 	m := g.members[g.mustIndex(server)]
-	if seq <= m.cp || !g.logged(seq) || m.ahead[seq] {
+	if m.stale || seq <= m.cp || !g.logged(seq) || m.ahead[seq] {
 		return false
 	}
 	m.ahead[seq] = true
@@ -311,6 +339,19 @@ func (g *Group) CommitCount(seq uint64) int {
 // records (Harp's GLB discipline) once the log exceeds it.
 const pruneAfter = 4096
 
+// Hard retention bounds. A dead member pins the prune lower bound (its
+// gap records must stay replayable), so a long outage under ongoing
+// writes would otherwise retain payloads without bound. Once the log
+// exceeds either cap, hardPrune abandons such members' gaps: it prunes
+// down to what the live members still need and marks the overtaken
+// members stale — they rejoin through a full-image resync instead of
+// record-by-record replay. Live laggards still pin the log, but they
+// are actively caught up, so their lag is bounded by the catch-up rate.
+const (
+	hardPruneRecords = 4 * pruneAfter
+	hardPruneBytes   = 64 << 20
+)
+
 // Ack advances the group commit point: the write under seq has been
 // acknowledged to a client and is now a durability promise.
 func (g *Group) Ack(seq uint64) {
@@ -320,21 +361,80 @@ func (g *Group) Ack(seq uint64) {
 	if len(g.log) > pruneAfter {
 		g.prune()
 	}
+	if len(g.log) > hardPruneRecords || g.logBytes > hardPruneBytes {
+		g.hardPrune()
+	}
 }
 
-// prune drops log records every member has committed (the guaranteed
-// lower bound, min over member commit points — dead members pin it, so
-// catch-up always finds its gap records).
+// dropPrefix removes the first n log records, keeping the retained-byte
+// account in step.
+func (g *Group) dropPrefix(n int) {
+	if n <= 0 {
+		return
+	}
+	for _, rec := range g.log[:n] {
+		g.logBytes -= int64(len(rec.Data))
+	}
+	kept := copy(g.log, g.log[n:])
+	for j := kept; j < len(g.log); j++ {
+		g.log[j] = Record{} // release shifted-out payloads immediately
+	}
+	g.log = g.log[:kept]
+}
+
+// prune drops log records every non-stale member has committed (the
+// guaranteed lower bound, min over their commit points — dead members
+// pin it, so catch-up always finds its gap records). Stale members do
+// not pin: their gap is already unreplayable and they resync instead.
 func (g *Group) prune() {
-	glb := g.members[0].cp
-	for _, m := range g.members[1:] {
-		if m.cp < glb {
-			glb = m.cp
+	var glb uint64
+	found := false
+	for _, m := range g.members {
+		if m.stale {
+			continue
+		}
+		if !found || m.cp < glb {
+			glb, found = m.cp, true
 		}
 	}
+	if !found {
+		return
+	}
 	i := sort.Search(len(g.log), func(i int) bool { return g.log[i].Seq > glb })
-	if i > 0 {
-		g.log = append(g.log[:0], g.log[i:]...)
+	g.dropPrefix(i)
+}
+
+// hardPrune drops acked records down to what the live members still
+// need, abandoning dead members' replay gaps: every member whose commit
+// point falls below the new log floor is marked stale, and its commit
+// point is frozen until a full-image resync reinstates it. Restricted
+// to acknowledged records (seq <= CP), so no in-flight pending ever
+// references a dropped record; live members never qualify as stale
+// because each has cp >= the minimum this prunes to.
+func (g *Group) hardPrune() {
+	limit := g.cp
+	anyAlive := false
+	for _, m := range g.members {
+		if m.alive {
+			anyAlive = true
+			if m.cp < limit {
+				limit = m.cp
+			}
+		}
+	}
+	if !anyAlive || limit <= g.floor {
+		return
+	}
+	i := sort.Search(len(g.log), func(i int) bool { return g.log[i].Seq > limit })
+	if i == 0 {
+		return
+	}
+	g.floor = limit
+	g.dropPrefix(i)
+	for _, m := range g.members {
+		if m.cp < g.floor {
+			m.stale = true
+		}
 	}
 }
 
@@ -373,6 +473,10 @@ func (g *Group) Lagging() []int {
 // assignment.
 func (g *Group) truncate() {
 	i := sort.Search(len(g.log), func(i int) bool { return g.log[i].Seq > g.cp })
+	for j := i; j < len(g.log); j++ {
+		g.logBytes -= int64(len(g.log[j].Data))
+		g.log[j] = Record{} // release the abandoned payload now, not at next append
+	}
 	g.log = g.log[:i]
 	for _, m := range g.members {
 		if m.cp > g.cp {
@@ -430,7 +534,7 @@ func (g *Group) MemberDown(server int) (viewChanged bool) {
 	// until catch-up replays the hole.
 	for _, m := range g.members {
 		if m.alive {
-			m.chained = g.lag(m) == 0
+			m.chained = !m.stale && g.lag(m) == 0
 		}
 	}
 	return changed
@@ -447,7 +551,7 @@ func (g *Group) MemberUp(server int) (viewChanged bool) {
 		return false
 	}
 	m.alive = true
-	m.chained = g.lag(m) == 0
+	m.chained = !m.stale && g.lag(m) == 0
 	return g.elect()
 }
 
@@ -472,11 +576,29 @@ func (g *Group) BeginCatchUp(server int) {
 // re-establishes byte order, so re-crediting is sound).
 func (g *Group) Replayed(server int, seq uint64) {
 	m := g.members[g.mustIndex(server)]
-	if seq <= m.cp || !g.logged(seq) {
+	if m.stale || seq <= m.cp || !g.logged(seq) {
 		return
 	}
 	m.ahead[seq] = true
 	m.advance(g)
+}
+
+// Resynced installs a full-image snapshot taken from source on a stale
+// member: its store now mirrors source's image, so its commit point
+// jumps to source's — the one sanctioned exception to log-ordered
+// advancement, sound because the installed bytes ARE the bytes that
+// ordered application of records up to source's commit point produces.
+// Out-of-order credit is withdrawn as in BeginCatchUp; ordered replay
+// of records above the installed point resumes from here. The source
+// must not itself be stale (NextCatchUp never picks one).
+func (g *Group) Resynced(server, source int) {
+	m := g.members[g.mustIndex(server)]
+	src := g.members[g.mustIndex(source)]
+	m.stale = false
+	m.cp = src.cp
+	for seq := range m.ahead {
+		delete(m.ahead, seq)
+	}
 }
 
 // Reelect re-runs the serving election without a membership change —
@@ -497,14 +619,37 @@ const (
 	// yet (the record is still in flight, or its holder is down); retry
 	// after the next commit or recovery.
 	CatchStalled
+	// CatchResync: the member's gap was hard-pruned from the log; a
+	// full image of source's store must be installed (Resynced) before
+	// record replay can resume.
+	CatchResync
 )
 
 // NextCatchUp plans a lagging member's next replay step: the first
 // logged record it is missing, and the live member with the most
 // recovered data that already holds it. On CatchCaughtUp the member is
-// rechained (it now receives new assignments directly again).
+// rechained (it now receives new assignments directly again). A stale
+// member gets CatchResync instead, with the best live full-image
+// source; its commit point is frozen until Resynced installs one.
 func (g *Group) NextCatchUp(server int) (rec Record, source int, status CatchUpStatus) {
 	m := g.members[g.mustIndex(server)]
+	if m.stale {
+		best := -1
+		for i, src := range g.members {
+			// A stale source's own image stops below the floor; installing
+			// it would leave the target with the same unreplayable gap.
+			if src == m || !src.alive || src.stale {
+				continue
+			}
+			if best < 0 || src.cp > g.members[best].cp {
+				best = i
+			}
+		}
+		if best < 0 {
+			return Record{}, 0, CatchStalled
+		}
+		return Record{}, g.members[best].id, CatchResync
+	}
 	next, ok := g.nextLogged(m.cp)
 	for ok && m.ahead[next.Seq] {
 		next, ok = g.nextLogged(next.Seq)
@@ -546,6 +691,7 @@ type MemberStatus struct {
 	Server  int
 	Alive   bool
 	Chained bool
+	Stale   bool
 	CP      uint64
 	Lag     int
 }
@@ -556,7 +702,7 @@ func (g *Group) Snapshot() Status {
 	_, st.Available = g.Serving()
 	for _, m := range g.members {
 		st.Members = append(st.Members, MemberStatus{
-			Server: m.id, Alive: m.alive, Chained: m.chained, CP: m.cp, Lag: g.lag(m),
+			Server: m.id, Alive: m.alive, Chained: m.chained, Stale: m.stale, CP: m.cp, Lag: g.lag(m),
 		})
 	}
 	return st

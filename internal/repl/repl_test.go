@@ -370,3 +370,148 @@ func TestReplReelectPromotesPastIneligibleServing(t *testing.T) {
 		t.Fatalf("serving=%d,%v after reelect", sid, ok)
 	}
 }
+
+func TestReplHardPruneMarksStaleAndResyncs(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	// One fully replicated, acked record so the dead member has cp=1.
+	r0, _ := g.Assign(0, 10, nil)
+	g.Commit(0, r0.Seq)
+	g.Commit(1, r0.Seq)
+	g.Ack(r0.Seq)
+	g.MemberDown(1)
+
+	// A long outage under ongoing writes: the dead member pins the soft
+	// prune, so the log grows until the hard cap abandons its gap.
+	var last Record
+	for i := 0; i < hardPruneRecords+64; i++ {
+		rec, _ := g.Assign(int64(i)*10, 10, nil)
+		g.Commit(0, rec.Seq)
+		g.Ack(rec.Seq)
+		last = rec
+	}
+	if len(g.log) > hardPruneRecords {
+		t.Fatalf("log holds %d records; hard cap %d never engaged", len(g.log), hardPruneRecords)
+	}
+	if !g.Stale(1) {
+		t.Fatal("member overtaken by the hard prune was not marked stale")
+	}
+	if g.Floor() == 0 {
+		t.Fatal("hard prune left no floor")
+	}
+	if g.Stale(0) {
+		t.Fatal("live member marked stale")
+	}
+
+	// A stale member's commit point is frozen: crediting a logged record
+	// must not let it jump the pruned gap.
+	cpBefore := g.MemberCP(1)
+	if g.Commit(1, last.Seq) {
+		t.Fatal("stale member accepted a commit")
+	}
+	g.Replayed(1, last.Seq)
+	if g.MemberCP(1) != cpBefore {
+		t.Fatalf("stale member cp moved %d -> %d without a resync", cpBefore, g.MemberCP(1))
+	}
+
+	// Rejoining does not re-chain it, and catch-up demands a resync.
+	g.MemberUp(1)
+	if g.Chained(1) {
+		t.Fatal("stale member rejoined the chain")
+	}
+	rec, src, st := g.NextCatchUp(1)
+	if st != CatchResync || src != 0 || rec.Seq != 0 {
+		t.Fatalf("stale catch-up plan: rec %+v src %d status %v", rec, src, st)
+	}
+
+	// Snapshot install: cp jumps to the source's, staleness clears, and
+	// ordered replay finishes the (empty) remainder.
+	g.Resynced(1, 0)
+	if g.Stale(1) || g.MemberCP(1) != g.MemberCP(0) {
+		t.Fatalf("resync install: stale=%v cp=%d want cp=%d", g.Stale(1), g.MemberCP(1), g.MemberCP(0))
+	}
+	if _, _, st := g.NextCatchUp(1); st != CatchCaughtUp {
+		t.Fatalf("status %v after resync, want caught up", st)
+	}
+	if !g.Chained(1) {
+		t.Fatal("resynced member did not rejoin the chain")
+	}
+	if sid, ok := g.Serving(); !ok || sid != 0 {
+		t.Fatalf("serving=%d,%v after resync", sid, ok)
+	}
+}
+
+func TestReplHardPruneByteCapAndStalePinRelease(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	g.MemberDown(1)
+	// Payload-carrying records trip the byte cap long before the record
+	// cap: the retained log must stay bounded.
+	payload := make([]byte, 1<<20)
+	n := int(hardPruneBytes/(1<<20)) + 8
+	for i := 0; i < n; i++ {
+		rec, _ := g.Assign(int64(i)<<20, 1<<20, payload)
+		g.Commit(0, rec.Seq)
+		g.Ack(rec.Seq)
+	}
+	if g.logBytes > hardPruneBytes {
+		t.Fatalf("retained payload %d bytes exceeds the hard cap %d", g.logBytes, hardPruneBytes)
+	}
+	if !g.Stale(1) {
+		t.Fatal("dead member not marked stale by the byte-cap prune")
+	}
+	// Once stale, the member no longer pins the soft prune either: the
+	// log drains to what the live members need.
+	for i := 0; i < pruneAfter+64; i++ {
+		rec, _ := g.Assign(int64(i)*10, 10, nil)
+		g.Commit(0, rec.Seq)
+		g.Ack(rec.Seq)
+	}
+	if len(g.log) > pruneAfter {
+		t.Fatalf("stale member still pins the log: %d records retained", len(g.log))
+	}
+}
+
+func TestReplResyncSourceSkipsStaleMembers(t *testing.T) {
+	g := NewGroup(0, []int{0, 1, 2})
+	r0, _ := g.Assign(0, 10, nil)
+	g.Commit(0, r0.Seq)
+	g.Commit(1, r0.Seq)
+	g.Commit(2, r0.Seq)
+	g.Ack(r0.Seq)
+	g.MemberDown(1)
+	g.MemberDown(2)
+	for i := 0; i < hardPruneRecords+64; i++ {
+		rec, _ := g.Assign(int64(i)*10, 10, nil)
+		g.Commit(0, rec.Seq)
+		g.Ack(rec.Seq)
+	}
+	if !g.Stale(1) || !g.Stale(2) {
+		t.Fatal("both dead members should be stale")
+	}
+	// Member 2 returns while 1 is still stale: a stale peer must never be
+	// its image source — only the live, non-stale member qualifies.
+	g.MemberUp(1)
+	g.MemberUp(2)
+	if _, src, st := g.NextCatchUp(2); st != CatchResync || src != 0 {
+		t.Fatalf("resync plan: src %d status %v, want source 0", src, st)
+	}
+	// With the only clean copy down, the resync stalls rather than
+	// installing an image that would re-open the pruned gap.
+	g.MemberDown(0)
+	if _, _, st := g.NextCatchUp(2); st != CatchStalled {
+		t.Fatalf("status %v, want stalled without a non-stale source", st)
+	}
+}
+
+func TestReplSnapshotReportsStale(t *testing.T) {
+	g := NewGroup(0, []int{0, 1})
+	g.MemberDown(1)
+	for i := 0; i < hardPruneRecords+64; i++ {
+		rec, _ := g.Assign(int64(i)*10, 10, nil)
+		g.Commit(0, rec.Seq)
+		g.Ack(rec.Seq)
+	}
+	st := g.Snapshot()
+	if !st.Members[1].Stale || st.Members[0].Stale {
+		t.Fatalf("snapshot stale flags: %+v", st.Members)
+	}
+}
