@@ -7,9 +7,9 @@ CHAOS_SEED ?= 1
 
 # BENCH_FILE is the snapshot `make bench` writes; benchcheck ignores it
 # and auto-discovers the newest committed BENCH_PR<N>.json instead.
-BENCH_FILE ?= BENCH_PR8.json
+BENCH_FILE ?= BENCH_PR9.json
 
-.PHONY: verify build test race bench vet chaos trace monitor benchcheck enginediff repl
+.PHONY: verify build test race bench vet chaos trace monitor benchcheck enginediff repl slo
 
 # verify is the tier-1 gate: everything must pass before a commit lands.
 # benchcheck is advisory (non-fatal): it flags benchmark drift but a
@@ -24,6 +24,7 @@ verify:
 	$(MAKE) trace
 	$(MAKE) monitor
 	$(MAKE) enginediff
+	$(MAKE) slo
 	@$(MAKE) benchcheck || echo "warning: benchmark drift (non-fatal); refresh $(BENCH_FILE) with 'make bench' if intended"
 
 # monitor runs the online-monitor suite under the race detector plus the
@@ -40,6 +41,15 @@ monitor:
 # every worker count.
 enginediff:
 	$(GO) test -race -run 'TestWheelHeapDifferential|TestEngineWheelHeap|TestRunParallel|TestParallelSeedSweep' ./internal/sim ./internal/experiments
+
+# slo runs the telemetry suite under the race detector: the flight
+# recorder and burn-rate engine units, the attached-pipeline
+# differentials (telemetry must be a pure observer of IOR, chaos and
+# drift), the double-crash alerting acceptance over seeds 1-3, and the
+# slo/record/metrics -prom CLI smoke tests.
+slo:
+	$(GO) test -race ./internal/telemetry
+	$(GO) test -race -run 'TestTelemetryAttached|TestSLO|TestRecord|TestMetricsProm|TestWriteProm' ./internal/experiments ./internal/obs ./cmd/harlctl
 
 # benchcheck compares fresh measurements against the newest committed
 # snapshot (benchguard auto-discovers BENCH_PR<N>.json).

@@ -67,16 +67,19 @@ func measure(seed int64) (map[string]metric, error) {
 		return nil, err
 	}
 	return map[string]metric{
-		"ior_end_seconds":         {Value: st.IOREndSeconds, Tolerance: 0.01},
-		"btio_end_seconds":        {Value: st.BTIOEndSeconds, Tolerance: 0.01},
-		"drift_end_seconds":       {Value: st.DriftEndSeconds, Tolerance: 0.01},
-		"analysis_wall_seconds":   {Value: st.AnalysisWallSeconds, Tolerance: 2.0, WallClock: true},
-		"scale_huge_end_seconds":  {Value: st.ScaleHugeEndSeconds, Tolerance: 0.01},
-		"scale_huge_wall_seconds": {Value: st.ScaleHugeWallSeconds, Tolerance: 1.0, WallClock: true},
-		"events_per_second":       {Value: st.EventsPerSecond, Tolerance: 0.5, WallClock: true, HigherBetter: true},
-		"repl_r1_write_seconds":   {Value: st.ReplR1WriteSeconds, Tolerance: 0.01},
-		"repl_r2_write_seconds":   {Value: st.ReplR2WriteSeconds, Tolerance: 0.01},
-		"repl_recovery_seconds":   {Value: st.ReplRecoverySeconds, Tolerance: 0.01},
+		"ior_end_seconds":          {Value: st.IOREndSeconds, Tolerance: 0.01},
+		"btio_end_seconds":         {Value: st.BTIOEndSeconds, Tolerance: 0.01},
+		"drift_end_seconds":        {Value: st.DriftEndSeconds, Tolerance: 0.01},
+		"analysis_wall_seconds":    {Value: st.AnalysisWallSeconds, Tolerance: 2.0, WallClock: true},
+		"scale_huge_end_seconds":   {Value: st.ScaleHugeEndSeconds, Tolerance: 0.01},
+		"scale_huge_wall_seconds":  {Value: st.ScaleHugeWallSeconds, Tolerance: 1.0, WallClock: true},
+		"events_per_second":        {Value: st.EventsPerSecond, Tolerance: 0.5, WallClock: true, HigherBetter: true},
+		"repl_r1_write_seconds":    {Value: st.ReplR1WriteSeconds, Tolerance: 0.01},
+		"repl_r2_write_seconds":    {Value: st.ReplR2WriteSeconds, Tolerance: 0.01},
+		"repl_recovery_seconds":    {Value: st.ReplRecoverySeconds, Tolerance: 0.01},
+		"slo_alert_seconds":        {Value: st.SLOAlertSeconds, Tolerance: 0.01},
+		"recorder_overhead_ratio":  {Value: st.RecorderOverheadRatio, Tolerance: 1.0, WallClock: true},
+		"recorder_allocs_per_span": {Value: st.RecorderAllocsPerSpan, Tolerance: 1.0, WallClock: true},
 	}, nil
 }
 

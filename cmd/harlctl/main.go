@@ -15,6 +15,8 @@
 //	harlctl health   [-seed N] [-quick] [-shift=false] [-repl]
 //	harlctl critpath [-seed N] [-quick] [-out highlighted.json]
 //	harlctl whatif   [-seed N] [-quick] [-factor 2] [-drift]
+//	harlctl slo      [-seed N] [-chaos-seed N] [-shape double-crash] [-bundle-dir DIR] [-quick]
+//	harlctl record   [-seed N] [-bundle-dir bundles] [-quick]
 //
 // The global -cpuprofile FILE and -memprofile FILE flags go before the
 // subcommand (harlctl -cpuprofile cpu.out trace ...) and write pprof
@@ -43,6 +45,10 @@
 // per-region replica/view status (views, serving members, catch-up lag)
 // from the replicated demo scenario instead, with exit code 1 if any
 // replica group has lost every member.
+// slo runs the replicated chaos scenario with the always-on telemetry
+// pipeline attached (flight recorder, SLO burn-rate engine, incident
+// bundles) and exits 1 if any burn-rate alert fired; record runs the
+// fault-free scenario and freezes one manual bundle of the recent past.
 // critpath runs the instrumented IOR baseline, extracts the critical
 // path from the trace, and prints the blame table — virtual time on the
 // blocking chain by kind, server, tier, region and phase; -out also
@@ -161,12 +167,16 @@ func dispatch(cmd string, args []string) error {
 		return cmdCritPath(args)
 	case "whatif":
 		return cmdWhatIf(args)
+	case "slo":
+		return cmdSLO(args)
+	case "record":
+		return cmdRecord(args)
 	}
 	return usage()
 }
 
 func usage() error {
-	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos|trace|metrics|monitor|health|critpath|whatif} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos|trace|metrics|monitor|health|critpath|whatif|slo|record} [flags]")
 	return exitCode(2)
 }
 
@@ -415,19 +425,101 @@ func cmdTrace(args []string) error {
 }
 
 // cmdMetrics runs the same instrumented workload and dumps the metrics
-// registry as text.
+// registry — human-readable text by default, Prometheus exposition
+// format with -prom. Either way the bytes are deterministic per seed.
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "simulation seed")
 	quick := fs.Bool("quick", false, "run at reduced scale")
 	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	prom := fs.Bool("prom", false, "export in Prometheus text exposition format")
 	fs.Parse(args)
 
 	run, err := experiments.TraceIOR(traceOptions(*seed, *quick, *parallel))
 	if err != nil {
 		return err
 	}
+	if *prom {
+		return run.Metrics.WriteProm(os.Stdout, run.End)
+	}
 	return run.WriteMetrics(os.Stdout)
+}
+
+// cmdSLO runs the replicated chaos scenario with the always-on telemetry
+// pipeline attached — flight recorder, SLO burn-rate engine, incident
+// bundles — and reports every alert the burn-rate windows fired. Exit
+// code 0 means every objective held; 1 means at least one alert fired
+// (with -bundle-dir, each alert's incident bundle is on disk).
+func cmdSLO(args []string) error {
+	fs := flag.NewFlagSet("slo", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault-schedule seed")
+	shape := fs.String("shape", "double-crash", "fault shape: crash, double-crash or recovery-overlap")
+	bundleDir := fs.String("bundle-dir", "", "write incident bundles under this directory")
+	quick := fs.Bool("quick", false, "run at reduced scale (faults may miss the shorter traffic)")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	var picked experiments.ReplShape
+	for _, s := range experiments.ReplShapes() {
+		if string(s) == *shape {
+			picked = s
+		}
+	}
+	if picked == "" {
+		return fmt.Errorf("unknown -shape %q (want crash, double-crash or recovery-overlap)", *shape)
+	}
+
+	opts := traceOptions(*seed, *quick, *parallel)
+	opts.ChaosSeed = *chaosSeed
+	run, err := experiments.RunSLO(opts, picked, *bundleDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slo %s: %d acked, %d failed, %d promotions, %d catch-up records\n",
+		picked, run.Result.Acked, run.Result.Failed,
+		run.Result.Repl.Promotions, run.Result.Repl.CatchUpRecords)
+	fmt.Printf("recorder: %d spans held across %d tracks (%d captured, %d evicted)\n",
+		run.Recorder.Held, run.Recorder.Tracks, run.Recorder.Captured, run.Recorder.Evicted)
+	for _, a := range run.Alerts {
+		fmt.Printf("ALERT %s\n", a.String())
+	}
+	for _, b := range run.Bundles {
+		loc := b.Dir()
+		if *bundleDir != "" {
+			loc = *bundleDir + "/" + loc
+		}
+		fmt.Printf("bundle: %s (%d spans)\n", loc, len(b.Spans))
+	}
+	if n := len(run.Alerts); n > 0 {
+		fmt.Printf("SLO BURN: %d alerts fired\n", n)
+		return exitCode(1)
+	}
+	fmt.Println("slo ok: every objective held")
+	return nil
+}
+
+// cmdRecord runs the fault-free replicated scenario with the flight
+// recorder attached and freezes one manual incident bundle at run end —
+// "dump the recent past" with no alert required.
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	bundleDir := fs.String("bundle-dir", "bundles", "write the bundle under this directory")
+	quick := fs.Bool("quick", false, "run at reduced scale")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	opts := traceOptions(*seed, *quick, *parallel)
+	run, bundle, err := experiments.RunRecord(opts, *bundleDir)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bundle.Summary())
+	fmt.Printf("recorder: %d spans held across %d tracks (%d captured, %d evicted)\n",
+		run.Recorder.Held, run.Recorder.Tracks, run.Recorder.Captured, run.Recorder.Evicted)
+	fmt.Printf("bundle written to %s/%s\n", *bundleDir, bundle.Dir())
+	return nil
 }
 
 // monitorRun executes the drift scenario with the online monitor

@@ -161,6 +161,63 @@ func TestWhatIfDriftCommandQuick(t *testing.T) {
 	}
 }
 
+func TestSLOCommandFiresOnDoubleCrash(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bundles")
+	out, err := capture(t, "slo", "-bundle-dir", dir)
+	var code exitCode
+	if !errors.As(err, &code) || code != 1 {
+		t.Fatalf("slo under double-crash err = %v, want exit code 1\n%s", err, out)
+	}
+	for _, want := range []string{"ALERT", "burn", "bundle:", "SLO BURN:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slo output missing %q:\n%s", want, out)
+		}
+	}
+	// The incident bundles landed on disk under the seed directory.
+	matches, err := filepath.Glob(filepath.Join(dir, "seed-1", "*", "trace.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no bundle traces under %s (err %v)", dir, err)
+	}
+}
+
+func TestRecordCommandQuick(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bundles")
+	out, err := capture(t, "record", "-quick", "-bundle-dir", dir)
+	if err != nil {
+		t.Fatalf("record: %v\n%s", err, out)
+	}
+	for _, want := range []string{"incident: record", "recorder:", "bundle written to"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("record output missing %q:\n%s", want, out)
+		}
+	}
+	for _, f := range []string{"trace.json", "metrics.txt", "blame.txt", "alert.txt"} {
+		matches, err := filepath.Glob(filepath.Join(dir, "seed-1", "record-*", f))
+		if err != nil || len(matches) != 1 {
+			t.Fatalf("bundle artifact %s not on disk under %s (err %v)", f, dir, err)
+		}
+	}
+}
+
+func TestMetricsPromDeterministic(t *testing.T) {
+	first, err := capture(t, "metrics", "-quick", "-prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE pfs_disk_ops_total counter", "# virtual time", `server="`} {
+		if !strings.Contains(first, want) {
+			t.Errorf("prom export missing %q:\n%.400s", want, first)
+		}
+	}
+	second, err := capture(t, "metrics", "-quick", "-prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("prometheus export is not byte-deterministic across replays")
+	}
+}
+
 func TestUnknownCommandUsage(t *testing.T) {
 	var code exitCode
 	if _, err := capture(t, "bogus"); !errors.As(err, &code) || code != 2 {

@@ -27,6 +27,10 @@ type BlameTable struct {
 	Region map[string]sim.Duration
 	// Phase splits the path by workload phase (write, read, meta, …).
 	Phase map[string]sim.Duration
+	// Group charges segments inside a replication group to that group
+	// (raw "group" tag keys); time outside any group is not counted, so
+	// the bucket sum is the replication share of the path, not Total.
+	Group map[string]sim.Duration
 }
 
 // buildBlame folds the result's segments into the table.
@@ -37,6 +41,7 @@ func buildBlame(r *Result) *BlameTable {
 		Tier:   make(map[string]sim.Duration),
 		Region: make(map[string]sim.Duration),
 		Phase:  make(map[string]sim.Duration),
+		Group:  make(map[string]sim.Duration),
 	}
 	for _, seg := range r.Segments {
 		d := seg.Duration()
@@ -58,6 +63,9 @@ func buildBlame(r *Result) *BlameTable {
 			phase = "-"
 		}
 		b.Phase[phase] += d
+		if seg.Attr.Group != "" {
+			b.Group[seg.Attr.Group] += d
+		}
 	}
 	return b
 }
@@ -103,6 +111,7 @@ func (b *BlameTable) WriteText(w io.Writer) error {
 		{"tier", b.Tier},
 		{"region", b.Region},
 		{"phase", b.Phase},
+		{"group", b.Group},
 	} {
 		if len(group.m) == 0 {
 			continue

@@ -60,6 +60,9 @@ type Attr struct {
 	Region int
 	// Phase is the root operation's phase: "write", "read" or "meta".
 	Phase string
+	// Group is the replication group the enclosing operation targeted
+	// (the raw "group" tag value), "" when no ancestor carries one.
+	Group string
 }
 
 // Segment is one maximal interval of the critical path blamed on a
@@ -87,10 +90,12 @@ type Result struct {
 
 // rec is the analyzer's per-span working state.
 type rec struct {
-	span   obs.Span
-	idx    int // recording order, the deterministic tie-break
-	region int // memoized region attribution, -2 = not yet computed
-	phase  string
+	span      obs.Span
+	idx       int // recording order, the deterministic tie-break
+	region    int // memoized region attribution, -2 = not yet computed
+	phase     string
+	group     string // memoized replication-group attribution
+	groupDone bool
 }
 
 type analyzer struct {
@@ -216,7 +221,7 @@ func (a *analyzer) emit(s Segment) {
 // classify maps a span to its blame attribution by name and track — the
 // span inventory the simulator's instrumentation emits.
 func (a *analyzer) classify(r *rec) Attr {
-	at := Attr{Region: a.regionOf(r), Phase: a.phaseOf(r)}
+	at := Attr{Region: a.regionOf(r), Phase: a.phaseOf(r), Group: a.groupOf(r)}
 	name, track := r.span.Name, r.span.Track
 	switch {
 	case name == "disk.read" || name == "disk.write":
@@ -250,6 +255,23 @@ func (a *analyzer) regionOf(r *rec) int {
 		r.region = a.regionOf(p)
 	}
 	return r.region
+}
+
+// groupOf resolves a span's replication group by walking ancestors for a
+// "group" tag, memoizing along the chain — the replica-write and
+// catch-up spans in internal/pfs/repl.go carry it. "" means the span is
+// outside any replication group.
+func (a *analyzer) groupOf(r *rec) string {
+	if r.groupDone {
+		return r.group
+	}
+	r.groupDone = true
+	if v, ok := r.span.Tag("group"); ok {
+		r.group = v
+	} else if p := a.byID[r.span.Parent]; p != nil {
+		r.group = a.groupOf(p)
+	}
+	return r.group
 }
 
 // phaseOf derives the workload phase from the span's root operation:
@@ -320,6 +342,9 @@ func (r *Result) HighlightSpans() []obs.Span {
 		if seg.Attr.Phase != "" {
 			tags = append(tags, obs.T("phase", seg.Attr.Phase))
 		}
+		if seg.Attr.Group != "" {
+			tags = append(tags, obs.T("group", seg.Attr.Group))
+		}
 		name := string(seg.Attr.Kind)
 		if seg.Attr.Where != "" {
 			name += " " + seg.Attr.Where
@@ -344,7 +369,8 @@ func sameAttr(s *obs.Span, at Attr) bool {
 		region, _ = strconv.Atoi(v)
 	}
 	return get("kind") == string(at.Kind) && get("where") == at.Where &&
-		get("tier") == at.Tier && region == at.Region && get("phase") == at.Phase
+		get("tier") == at.Tier && region == at.Region && get("phase") == at.Phase &&
+		get("group") == at.Group
 }
 
 // sortedShares renders a duration map as "key share" pairs sorted by

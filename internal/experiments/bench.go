@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"runtime"
 	"time"
 
 	"harl/internal/btio"
 	"harl/internal/cluster"
 	"harl/internal/harl"
 	"harl/internal/mpiio"
+	"harl/internal/obs"
+	"harl/internal/telemetry"
 )
 
 // BenchStats are the repo's tracked benchmark numbers (see cmd/benchguard
@@ -46,6 +49,17 @@ type BenchStats struct {
 	// ReplRecoverySeconds is the virtual catch-up time of a recovered
 	// backup replaying a full overwrite pass it missed.
 	ReplRecoverySeconds float64
+	// SLOAlertSeconds is the virtual time of the first burn-rate alert
+	// under the seeded double-crash schedule — deterministic, so it
+	// guards both the fault schedule and the alerting windows.
+	SLOAlertSeconds float64
+	// RecorderOverheadRatio is the wall-clock ratio of the IOR replay
+	// with the full telemetry pipeline attached over the bare replay —
+	// the price of always-on recording (machine-dependent).
+	RecorderOverheadRatio float64
+	// RecorderAllocsPerSpan is the marginal heap allocations per
+	// captured span the attached pipeline adds over the bare run.
+	RecorderAllocsPerSpan float64
 }
 
 // BenchSnapshot measures the tracked benchmark numbers at the given
@@ -124,5 +138,61 @@ func BenchSnapshot(o Options) (BenchStats, error) {
 		return st, err
 	}
 	st.ReplRecoverySeconds = rec.RecoverySeconds
+
+	// First burn-rate alert under the seeded double-crash. Quick scale
+	// shrinks the fault horizon below the traffic span, so the SLO run
+	// keeps the default chaos file size (as the acceptance test does).
+	so := o
+	so.FileSize = 2 << 30
+	slo, err := RunSLO(so, ReplShapeDoubleCrash, "")
+	if err != nil {
+		return st, err
+	}
+	if len(slo.Alerts) > 0 {
+		st.SLOAlertSeconds = slo.Alerts[0].At.Sub(0).Seconds()
+	}
+
+	// Recorder overhead: the identical IOR replay bare and with the full
+	// telemetry pipeline attached, on the host clock, plus the marginal
+	// heap allocations per captured span.
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 = time.Now()
+	if _, err := traceIOR(o, false); err != nil {
+		return st, err
+	}
+	bareWall := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&ms1)
+	bareAllocs := ms1.Mallocs - ms0.Mallocs
+
+	ao := o
+	var tel *telemetry.T
+	ao.Attach = func(tb *cluster.Testbed) {
+		t, terr := telemetry.New(telemetry.Config{Seed: o.Seed, RingSpans: 512})
+		if terr != nil {
+			return
+		}
+		tel = t
+		tb.FS.Instrument(obs.NewStreamTracer(tb.Engine, t), obs.NewRegistry())
+	}
+	runtime.ReadMemStats(&ms0)
+	t0 = time.Now()
+	if _, err := traceIOR(ao, false); err != nil {
+		return st, err
+	}
+	attachedWall := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&ms1)
+	if bareWall > 0 {
+		st.RecorderOverheadRatio = attachedWall / bareWall
+	}
+	if tel != nil {
+		if captured := tel.Recorder().Stats().Captured; captured > 0 {
+			extra := float64(ms1.Mallocs-ms0.Mallocs) - float64(bareAllocs)
+			if extra < 0 {
+				extra = 0
+			}
+			st.RecorderAllocsPerSpan = extra / float64(captured)
+		}
+	}
 	return st, nil
 }

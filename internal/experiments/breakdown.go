@@ -84,6 +84,9 @@ func placedIOR(o Options, params cost.Params, plan *harl.Plan, cfg ior.Config, i
 	if adjust != nil {
 		adjust(tb)
 	}
+	if o.Attach != nil {
+		o.Attach(tb)
+	}
 	run := &TraceRun{Plan: plan, FS: tb.FS, Params: params, Config: cfg, Opts: o}
 	if instrument {
 		run.Tracer, run.Metrics = tb.Instrument()

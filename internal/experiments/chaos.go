@@ -138,6 +138,9 @@ func runChaosIOR(o Options, policy pfs.Policy, withFaults bool) (ChaosResult, er
 		return ChaosResult{}, err
 	}
 	tb.FS.ClientPolicy = policy // before NewWorld: clients copy it at creation
+	if o.Attach != nil {
+		o.Attach(tb)
+	}
 	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
 	e := tb.Engine
 

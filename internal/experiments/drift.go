@@ -182,6 +182,9 @@ func runDriftWith(o Options, shift, monitored bool, override map[int]harl.Stripe
 	if adjust != nil {
 		adjust(tb)
 	}
+	if o.Attach != nil {
+		o.Attach(tb)
+	}
 	run := &DriftRun{Plan: plan, Shifted: shift, ShiftedRegion: shiftRegion}
 	if monitored {
 		// Attach the registry before the file is created so the per-region

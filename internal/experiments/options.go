@@ -68,6 +68,14 @@ type Options struct {
 	// reference engine instead of the timer wheel. Figures must be
 	// byte-identical either way; the engine differential test flips it.
 	HeapEngine bool
+
+	// Attach, when non-nil, is invoked on every testbed a driver builds,
+	// right after construction and before the workload runs. It is the
+	// telemetry hook: RunSLO uses it to wire a streaming tracer and the
+	// flight recorder into the file system. Attached instrumentation must
+	// honor the passive-observer contract — the differential tests verify
+	// an attached run stays event-for-event identical to a bare one.
+	Attach func(tb *cluster.Testbed)
 }
 
 // clusterDefault is the paper's default testbed configured by this

@@ -89,6 +89,7 @@ func Figures() []Figure {
 		{"drift", FigDrift},
 		{"critpath", FigCritPath},
 		{"scalehuge", FigScaleHuge},
+		{"slo", FigSLO},
 	}
 }
 

@@ -180,6 +180,9 @@ func runReplIOR(o Options, policy pfs.Policy, r int, shape ReplShape, withFaults
 		return ReplResult{}, err
 	}
 	tb.FS.ClientPolicy = policy // before NewWorld: clients copy it at creation
+	if o.Attach != nil {
+		o.Attach(tb)
+	}
 	w := mpiio.NewWorld(tb.FS, cfg.Ranks, cfg.RanksPerNode)
 	e := tb.Engine
 

@@ -27,7 +27,14 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 // process and track table. Extra spans whose ID is 0 are numbered after
 // the recorded spans, keeping ids unique and the output deterministic.
 func (t *Tracer) WriteChromeWith(w io.Writer, extra []Span) error {
-	spans := t.Spans()
+	return WriteChromeSpans(w, t.Spans(), extra)
+}
+
+// WriteChromeSpans exports an explicit span list — the flight recorder's
+// window, a filtered slice, any forest not backed by a retaining tracer —
+// as the same deterministic trace_event JSON WriteChrome produces. extra
+// follows the WriteChromeWith contract.
+func WriteChromeSpans(w io.Writer, spans, extra []Span) error {
 	bw := &errWriter{w: w}
 	bw.print(`{"displayTimeUnit":"ms","traceEvents":[`)
 

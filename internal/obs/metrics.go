@@ -108,13 +108,19 @@ const (
 )
 
 // metric is one registered instrument: a name plus its rendered label
-// set, exactly one of the three instrument pointers non-nil.
+// set, exactly one of the three instrument pointers non-nil. name and
+// labels (key-sorted) are kept alongside the rendered key so exporters
+// that need structure back — the Prometheus text format groups series
+// into families and re-renders labels per sample line — never parse the
+// key.
 type metric struct {
-	key  string
-	kind metricKind
-	c    *Counter
-	g    *Gauge
-	h    *Histogram
+	key    string
+	name   string
+	labels []Tag
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
 }
 
 // Registry holds named instruments. nil is a disabled registry.
@@ -130,14 +136,23 @@ func NewRegistry() *Registry {
 // Enabled reports whether the registry records anything.
 func (r *Registry) Enabled() bool { return r != nil }
 
+// sortLabels returns a key-sorted copy of a label set (nil when empty).
+func sortLabels(labels []Tag) []Tag {
+	if len(labels) == 0 {
+		return nil
+	}
+	sorted := append([]Tag(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	return sorted
+}
+
 // metricKey renders name{k="v",...} with labels sorted by key, so the
 // same instrument is found regardless of label order at the call site.
 func metricKey(name string, labels []Tag) string {
 	if len(labels) == 0 {
 		return name
 	}
-	sorted := append([]Tag(nil), labels...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	sorted := sortLabels(labels)
 	var b strings.Builder
 	b.WriteString(name)
 	b.WriteByte('{')
@@ -164,7 +179,7 @@ func (r *Registry) lookup(name string, kind metricKind, labels []Tag) *metric {
 		}
 		return m
 	}
-	m := &metric{key: key, kind: kind}
+	m := &metric{key: key, name: name, labels: sortLabels(labels), kind: kind}
 	r.byKey[key] = m
 	return m
 }

@@ -90,21 +90,63 @@ func (s Span) Tag(key string) (string, bool) {
 	return "", false
 }
 
+// SpanSink receives finalized spans from a streaming tracer. Sinks must
+// honor the tracer's passive-observer contract — no event scheduling, no
+// engine RNG draws — so a sink-attached run stays event-for-event
+// identical to a bare one. The flight recorder (internal/telemetry) is
+// the canonical implementation.
+type SpanSink interface {
+	OnSpan(s Span)
+}
+
 // Tracer records spans against an engine's virtual clock. The zero of
 // *Tracer (nil) is a disabled tracer; see the package comment.
+//
+// A tracer runs in one of two modes. The retaining mode (NewTracer)
+// appends every span to an in-memory slice for whole-run export — memory
+// grows with the run. The streaming mode (NewStreamTracer) retains
+// nothing: open spans live in a small working map, and each span is
+// handed to a SpanSink the moment it finalizes (End, or allocation for
+// instants/counters/retroactive emits), so memory stays bounded by the
+// number of concurrently open spans regardless of run length. Span IDs
+// come from the same plain counter in both modes, so a streaming sink
+// observes exactly the IDs a retaining tracer would have recorded.
 type Tracer struct {
 	engine  *sim.Engine
 	spans   []Span
 	dropped uint64
+
+	// Streaming mode (nil sink = retaining mode).
+	sink   SpanSink
+	open   map[SpanID]Span
+	nextID SpanID
 }
 
-// NewTracer returns an enabled tracer reading timestamps from e.
+// NewTracer returns an enabled, retaining tracer reading timestamps
+// from e.
 func NewTracer(e *sim.Engine) *Tracer {
 	if e == nil {
 		panic("obs: tracer needs an engine")
 	}
 	return &Tracer{engine: e}
 }
+
+// NewStreamTracer returns an enabled tracer that retains nothing:
+// finalized spans stream to sink and are discarded. Len and Spans report
+// only retained spans, so they stay 0/nil for a streaming tracer.
+func NewStreamTracer(e *sim.Engine, sink SpanSink) *Tracer {
+	if e == nil {
+		panic("obs: tracer needs an engine")
+	}
+	if sink == nil {
+		panic("obs: stream tracer needs a sink")
+	}
+	return &Tracer{engine: e, sink: sink, open: make(map[SpanID]Span)}
+}
+
+// Streaming reports whether the tracer delivers spans to a sink instead
+// of retaining them.
+func (t *Tracer) Streaming() bool { return t != nil && t.sink != nil }
 
 // Enabled reports whether the tracer records anything.
 func (t *Tracer) Enabled() bool { return t != nil }
@@ -126,13 +168,23 @@ func (t *Tracer) Spans() []Span {
 	return t.spans
 }
 
-// alloc appends a span and returns its ID (index+1, so IDs are dense,
-// deterministic, and 0 stays "no span").
+// alloc assigns the next dense span ID (so IDs are deterministic and 0
+// stays "no span") and either retains the span or routes it to the
+// streaming sink: already-closed spans deliver immediately, open ones
+// wait in the working map for End.
 func (t *Tracer) alloc(s Span) SpanID {
-	id := SpanID(len(t.spans) + 1)
-	s.ID = id
+	t.nextID++
+	s.ID = t.nextID
+	if t.sink != nil {
+		if s.End == openEnd {
+			t.open[s.ID] = s
+		} else {
+			t.sink.OnSpan(s)
+		}
+		return s.ID
+	}
 	t.spans = append(t.spans, s)
-	return id
+	return s.ID
 }
 
 // Begin opens a span at the current virtual time. Close it with End.
@@ -157,6 +209,20 @@ func (t *Tracer) Begin(track, name string, parent SpanID, tags ...Tag) SpanID {
 // always indicates an instrumentation bug, so it counts into Dropped.
 func (t *Tracer) End(id SpanID, tags ...Tag) {
 	if t == nil || id == 0 {
+		return
+	}
+	if t.sink != nil {
+		s, ok := t.open[id]
+		if !ok {
+			// Unknown, already-ended, or non-interval — the same
+			// instrumentation bugs the retaining mode counts.
+			t.dropped++
+			return
+		}
+		delete(t.open, id)
+		s.End = t.engine.Now()
+		s.Tags = append(s.Tags, tags...)
+		t.sink.OnSpan(s)
 		return
 	}
 	if id < 0 || int(id) > len(t.spans) {

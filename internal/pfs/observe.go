@@ -98,6 +98,28 @@ func (fs *FS) SyncMetrics() {
 		reg.Counter("pfs_repl_catchups_total").Set(int64(r.CatchUps))
 		reg.Counter("pfs_repl_catchup_records_total").Set(int64(r.CatchUpRecords))
 		reg.Counter("pfs_repl_catchup_bytes_total").Set(int64(r.CatchUpBytes))
+		reg.Counter("pfs_repl_resyncs_total").Set(int64(r.Resyncs))
+		reg.Counter("pfs_repl_resync_bytes_total").Set(int64(r.ResyncBytes))
+		// Live group state: summed view numbers (view churn), members
+		// currently stale (hard-pruned replay gap), and the worst replay
+		// lag across all groups — the signals the SLO engine alerts on.
+		var views, stale, maxLag int64
+		for _, meta := range fs.replFiles {
+			for _, rg := range meta.Repl.groups {
+				views += int64(rg.g.View())
+				for _, id := range rg.members {
+					if rg.g.Stale(id) {
+						stale++
+					}
+					if lag := int64(rg.g.Lag(id)); lag > maxLag {
+						maxLag = lag
+					}
+				}
+			}
+		}
+		reg.Gauge("pfs_repl_views").Set(float64(views))
+		reg.Gauge("pfs_repl_stale_members").Set(float64(stale))
+		reg.Gauge("pfs_repl_max_lag_records").Set(float64(maxLag))
 	}
 	reg.Counter("sim_events_processed_total").Set(int64(fs.engine.Processed))
 	fs.net.SyncMetrics(reg)

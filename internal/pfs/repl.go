@@ -245,11 +245,23 @@ func (o *subOp) runRepl(rs *replState) {
 	if !ok {
 		// No eligible replica: resolve as a retryable failure after a
 		// fixed pause, so even zero-backoff policies let the clock reach
-		// the view change or catch-up that restores service.
+		// the view change or catch-up that restores service. The bounce
+		// still records an attempt span — a group blackout must be
+		// visible to the availability SLO and the flight recorder, not
+		// just to the retry counters.
 		fs.Repl.Unavailable++
 		primary := fs.servers[slot]
+		var bounce obs.SpanID
+		if tr := fs.tracer; tr != nil {
+			bounce = tr.Begin(c.name, "attempt", o.parent,
+				obs.T("op", o.op.String()), obs.T("server", primary.Name),
+				obs.TInt("attempt", int64(o.attempt)), obs.TInt("bytes", o.sub.Size),
+				obs.TInt("group", int64(slot)), obs.TInt("view", int64(rg.g.View())))
+		}
 		fs.engine.Schedule(replUnavailDelay, func() {
-			o.outcome(primary, nil, fmt.Errorf("%w: slot %d view %d", ErrUnavailable, slot, rg.g.View()))
+			err := fmt.Errorf("%w: slot %d view %d", ErrUnavailable, slot, rg.g.View())
+			fs.tracer.End(bounce, obs.T("outcome", attemptOutcome(false, err)))
+			o.outcome(primary, nil, err)
 		})
 		return
 	}
@@ -260,7 +272,8 @@ func (o *subOp) runRepl(rs *replState) {
 	if tr != nil {
 		span = tr.Begin(c.name, "attempt", o.parent,
 			obs.T("op", o.op.String()), obs.T("server", server.Name),
-			obs.TInt("attempt", int64(o.attempt)), obs.TInt("bytes", o.sub.Size))
+			obs.TInt("attempt", int64(o.attempt)), obs.TInt("bytes", o.sub.Size),
+			obs.TInt("group", int64(slot)), obs.TInt("view", int64(rg.g.View())))
 	}
 
 	resolved := false
@@ -385,9 +398,23 @@ func (fs *FS) beginReplWrite(meta *FileMeta, slot int, s *Server, local int64, d
 // so it can be refused atomically with the commit (see replApply) — a
 // member's commit point never overstates its store contents.
 func (fs *FS) replicaWrite(meta *FileMeta, rg *replGroup, member *Server, rec repl.Record, span obs.SpanID, ackTo *netsim.Node) {
-	member.servePhantom(device.Write, rec.Local, rec.Size, span, func(err error) {
+	// The commit gets its own span on the member's track, tagged with the
+	// group coordinates, so critpath blame can charge chain-write overhead
+	// to the replication group instead of an anonymous disk op.
+	tr := fs.tracer
+	wspan := span
+	if tr != nil {
+		wspan = tr.Begin(member.Name, "repl.write", span,
+			obs.TInt("group", int64(rg.g.Slot())), obs.TInt("member", int64(member.ID)),
+			obs.TInt("view", int64(rg.g.View())), obs.TInt("seq", int64(rec.Seq)),
+			obs.TInt("bytes", rec.Size))
+	}
+	member.servePhantom(device.Write, rec.Local, rec.Size, wspan, func(err error) {
 		if err == nil {
 			err = fs.replApply(meta, rg, member, rec)
+		}
+		if tr != nil {
+			tr.End(wspan, obs.T("status", errStatus(err)))
 		}
 		report := func(sim.Time) { fs.replCommit(meta, rg, member.ID, rec.Seq, err) }
 		if ackTo != nil {
@@ -590,7 +617,8 @@ func (fs *FS) replOnDown(server int) {
 			}
 			if rg.g.MemberDown(server) {
 				fs.Repl.Promotions++
-				fs.annotate(fs.servers[server], "repl.viewchange")
+				fs.annotate(fs.servers[server], "repl.viewchange",
+					obs.TInt("group", int64(rg.g.Slot())), obs.TInt("view", int64(rg.g.View())))
 			}
 			keep := rg.pendings[:0]
 			var recheck []*replPending
@@ -695,7 +723,7 @@ func (fs *FS) catchStep(meta *FileMeta, rg *replGroup, server int, token int) {
 	case repl.CatchCaughtUp:
 		cs.active = false
 		fs.Repl.CatchUps++
-		fs.annotate(fs.servers[server], "repl.caughtup")
+		fs.annotate(fs.servers[server], "repl.caughtup", obs.TInt("group", int64(g.Slot())))
 		if g.Reelect() {
 			fs.Repl.Promotions++
 		}
@@ -704,17 +732,33 @@ func (fs *FS) catchStep(meta *FileMeta, rg *replGroup, server int, token int) {
 		cs.active = false
 		return
 	case repl.CatchResync:
+		// The member's replay gap was hard-pruned; it is stale until the
+		// image install lands. The instant feeds the staleness SLO.
+		fs.annotate(fs.servers[server], "repl.stale", obs.TInt("group", int64(g.Slot())))
 		fs.catchResync(meta, rg, server, src, token)
 		return
 	}
 	member := fs.servers[server]
 	source := fs.servers[src]
-	fs.net.TransferSpan(0, source.node, member.node, rec.Size, func(sim.Time) {
-		member.servePhantom(device.Write, rec.Local, rec.Size, 0, func(err error) {
+	// Each replay step is a span on the member's track carrying the
+	// group's coordinates and the member's remaining lag, so the flight
+	// recorder and critpath blame see catch-up traffic per group.
+	tr := fs.tracer
+	var cspan obs.SpanID
+	if tr != nil {
+		cspan = tr.Begin(member.Name, "repl.catchup", 0,
+			obs.TInt("group", int64(g.Slot())), obs.TInt("member", int64(server)),
+			obs.TInt("source", int64(src)), obs.TInt("view", int64(g.View())),
+			obs.TInt("seq", int64(rec.Seq)), obs.TInt("lag", int64(g.Lag(server))))
+	}
+	fs.net.TransferSpan(cspan, source.node, member.node, rec.Size, func(sim.Time) {
+		member.servePhantom(device.Write, rec.Local, rec.Size, cspan, func(err error) {
 			if cs.token != token || !cs.active {
+				fs.tracer.End(cspan, obs.T("status", "superseded"))
 				return
 			}
 			if err != nil {
+				fs.tracer.End(cspan, obs.T("status", "error"))
 				cs.tries++
 				if cs.tries > replCatchMaxTries {
 					cs.active = false
@@ -728,6 +772,7 @@ func (fs *FS) catchStep(meta *FileMeta, rg *replGroup, server int, token int) {
 			fs.Repl.CatchUpBytes += uint64(rec.Size)
 			member.applyReplica(meta.ID, g.Slot(), rec.Data, rec.Local)
 			g.Replayed(server, rec.Seq)
+			fs.tracer.End(cspan, obs.T("status", "ok"), obs.TInt("lag", int64(g.Lag(server))))
 			if p := findPending(rg, rec.Seq); p != nil {
 				fs.checkPending(meta, rg, p)
 			}
@@ -778,12 +823,24 @@ func (fs *FS) catchResync(meta *FileMeta, rg *replGroup, server, src, token int)
 		}
 		fs.engine.Schedule(replCatchStepDelay, func() { fs.catchStep(meta, rg, server, token) })
 	}
-	fs.net.TransferSpan(0, source.node, member.node, size, func(sim.Time) {
-		member.servePhantom(device.Write, 0, size, 0, func(err error) {
+	// The whole-image ship is one span on the member's track; its group
+	// and byte tags let blame charge resync traffic like catch-up replay.
+	tr := fs.tracer
+	var rspan obs.SpanID
+	if tr != nil {
+		rspan = tr.Begin(member.Name, "repl.resync", 0,
+			obs.TInt("group", int64(g.Slot())), obs.TInt("member", int64(server)),
+			obs.TInt("source", int64(src)), obs.TInt("view", int64(g.View())),
+			obs.TInt("bytes", size))
+	}
+	fs.net.TransferSpan(rspan, source.node, member.node, size, func(sim.Time) {
+		member.servePhantom(device.Write, 0, size, rspan, func(err error) {
 			if cs.token != token || !cs.active {
+				fs.tracer.End(rspan, obs.T("status", "superseded"))
 				return
 			}
 			if err != nil {
+				fs.tracer.End(rspan, obs.T("status", "error"))
 				replan()
 				return
 			}
@@ -791,6 +848,7 @@ func (fs *FS) catchResync(meta *FileMeta, rg *replGroup, server, src, token int)
 				// The source was itself overtaken by a hard prune while the
 				// image was in flight; its commit point no longer clears the
 				// floor. Re-plan against a fresh source.
+				fs.tracer.End(rspan, obs.T("status", "stale-source"))
 				replan()
 				return
 			}
@@ -799,7 +857,8 @@ func (fs *FS) catchResync(meta *FileMeta, rg *replGroup, server, src, token int)
 			fs.Repl.ResyncBytes += uint64(size)
 			member.installImage(meta.ID, g.Slot(), source)
 			g.Resynced(server, src)
-			fs.annotate(member, "repl.resync")
+			fs.tracer.End(rspan, obs.T("status", "ok"))
+			fs.annotate(member, "repl.resync", obs.TInt("group", int64(g.Slot())))
 			fs.catchStep(meta, rg, server, token)
 		})
 	})

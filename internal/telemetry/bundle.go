@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"harl/internal/critpath"
+	"harl/internal/obs"
+	"harl/internal/sim"
+)
+
+// An incident bundle is the recorder's window frozen at the moment an
+// alert fired (or an operator asked): the span window as a Chrome trace,
+// a metrics snapshot, and a critical-path blame table scoped to just the
+// window. Bundles land in a deterministic per-seed directory — every
+// name and every byte derives from virtual time and seed, never the
+// wall clock — so the same seed always produces the same incident tree.
+
+// Bundle is one captured incident.
+type Bundle struct {
+	// Reason is the objective name for alert-triggered captures, or the
+	// operator-supplied reason for manual ones.
+	Reason string
+	// Alert is the triggering alert; nil for manual captures.
+	Alert *Alert
+	// Seed identifies the run, naming the per-seed directory.
+	Seed int64
+	// At is the capture instant (virtual).
+	At sim.Time
+	// From/To bound the window's span extent.
+	From, To sim.Time
+	// Spans is the recorder window (see Recorder.Window).
+	Spans []obs.Span
+	// Metrics is the registry snapshot in Prometheus text format.
+	Metrics string
+	// Blame is the window's critical-path table; nil when the window
+	// holds no closed interval spans to analyze.
+	Blame *critpath.BlameTable
+	// Stats is the recorder occupancy at capture time.
+	Stats RecorderStats
+}
+
+// newBundle freezes a recorder window into a bundle.
+func newBundle(reason string, alert *Alert, seed int64, at sim.Time, rec *Recorder, metrics string) *Bundle {
+	b := &Bundle{
+		Reason:  reason,
+		Alert:   alert,
+		Seed:    seed,
+		At:      at,
+		Spans:   rec.Window(),
+		Metrics: metrics,
+		Stats:   rec.Stats(),
+	}
+	for _, s := range b.Spans {
+		if b.From == 0 || s.Start < b.From {
+			b.From = s.Start
+		}
+		if s.End > b.To {
+			b.To = s.End
+		}
+	}
+	if res, err := critpath.Analyze(b.Spans); err == nil {
+		b.Blame = res.Blame
+	}
+	return b
+}
+
+// Dir returns the bundle's directory path relative to the bundle root:
+// seed-<seed>/<reason>-<at ns>.
+func (b *Bundle) Dir() string {
+	return filepath.Join(fmt.Sprintf("seed-%d", b.Seed),
+		fmt.Sprintf("%s-%d", sanitize(b.Reason), int64(b.At)))
+}
+
+// Summary renders the bundle's alert.txt content — the incident header
+// an operator reads first.
+func (b *Bundle) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "incident: %s\n", b.Reason)
+	if b.Alert != nil {
+		fmt.Fprintf(&sb, "alert: %s\n", b.Alert)
+	}
+	fmt.Fprintf(&sb, "seed: %d\n", b.Seed)
+	fmt.Fprintf(&sb, "captured: %v\n", b.At)
+	fmt.Fprintf(&sb, "window: [%v, %v] %d spans (%d tracks, %d evicted)\n",
+		b.From, b.To, len(b.Spans), b.Stats.Tracks, b.Stats.Evicted)
+	return sb.String()
+}
+
+// WriteDir materializes the bundle under root and returns its directory:
+// alert.txt (summary), trace.json (Chrome trace of the window),
+// metrics.txt (Prometheus snapshot), blame.txt (window blame table).
+func (b *Bundle) WriteDir(root string) (string, error) {
+	dir := filepath.Join(root, b.Dir())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "alert.txt"), []byte(b.Summary()), 0o644); err != nil {
+		return "", err
+	}
+	var trace strings.Builder
+	if err := obs.WriteChromeSpans(&trace, b.Spans, nil); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trace.json"), []byte(trace.String()), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "metrics.txt"), []byte(b.Metrics), 0o644); err != nil {
+		return "", err
+	}
+	blame := "no closed interval spans in window\n"
+	if b.Blame != nil {
+		var bb strings.Builder
+		if err := b.Blame.WriteText(&bb); err != nil {
+			return "", err
+		}
+		blame = bb.String()
+	}
+	if err := os.WriteFile(filepath.Join(dir, "blame.txt"), []byte(blame), 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// sanitize maps a reason to a filesystem-safe directory component.
+func sanitize(s string) string {
+	if s == "" {
+		return "capture"
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}

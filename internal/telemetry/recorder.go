@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"sort"
+
+	"harl/internal/obs"
+)
+
+// The flight recorder keeps the recent past, not the whole run: one
+// fixed-capacity ring of finalized spans per track, overwriting the
+// oldest entry once full. Memory is O(tracks × capacity) regardless of
+// run length, which is what lets telemetry stay always-on where the
+// retaining tracer's whole-run capture cannot. The recorder is a passive
+// consumer — it never schedules events or draws engine randomness — so
+// an attached run executes the exact event sequence of a bare one.
+
+// ring is one track's fixed-capacity span buffer.
+type ring struct {
+	buf  []obs.Span
+	next int // overwrite cursor once len(buf) == cap(buf)
+}
+
+func (r *ring) add(s obs.Span) (evicted bool) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+		return false
+	}
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	return true
+}
+
+// chrono returns the ring's contents oldest-first.
+func (r *ring) chrono() []obs.Span {
+	out := make([]obs.Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Recorder holds the per-track rings.
+type Recorder struct {
+	perTrack int
+	rings    map[string]*ring
+	captured uint64
+	evicted  uint64
+}
+
+// RecorderStats summarizes a recorder's occupancy.
+type RecorderStats struct {
+	Tracks   int    // distinct tracks seen
+	Held     int    // spans currently buffered
+	Captured uint64 // spans ever delivered
+	Evicted  uint64 // spans overwritten by ring wrap
+}
+
+// NewRecorder returns a recorder keeping up to perTrack spans per track.
+func NewRecorder(perTrack int) *Recorder {
+	if perTrack <= 0 {
+		perTrack = 256
+	}
+	return &Recorder{perTrack: perTrack, rings: make(map[string]*ring)}
+}
+
+// Add captures one finalized span.
+func (r *Recorder) Add(s obs.Span) {
+	rg := r.rings[s.Track]
+	if rg == nil {
+		rg = &ring{buf: make([]obs.Span, 0, r.perTrack)}
+		r.rings[s.Track] = rg
+	}
+	r.captured++
+	if rg.add(s) {
+		r.evicted++
+	}
+}
+
+// Stats reports the recorder's occupancy.
+func (r *Recorder) Stats() RecorderStats {
+	st := RecorderStats{Tracks: len(r.rings), Captured: r.captured, Evicted: r.evicted}
+	for _, rg := range r.rings {
+		st.Held += len(rg.buf)
+	}
+	return st
+}
+
+// Window snapshots everything the recorder currently holds as one
+// deterministic span list: all tracks merged, sorted by (Start, ID), and
+// parent links pointing at evicted spans rewritten to 0 so the window is
+// a self-contained forest that critpath.Analyze and the Chrome exporter
+// accept without dangling references.
+func (r *Recorder) Window() []obs.Span {
+	tracks := make([]string, 0, len(r.rings))
+	for name := range r.rings {
+		tracks = append(tracks, name)
+	}
+	sort.Strings(tracks)
+	var out []obs.Span
+	for _, name := range tracks {
+		out = append(out, r.rings[name].chrono()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	present := make(map[obs.SpanID]bool, len(out))
+	for _, s := range out {
+		present[s.ID] = true
+	}
+	for i := range out {
+		if out[i].Parent != 0 && !present[out[i].Parent] {
+			out[i].Parent = 0
+		}
+	}
+	return out
+}
