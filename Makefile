@@ -7,9 +7,9 @@ CHAOS_SEED ?= 1
 
 # BENCH_FILE is the snapshot `make bench` writes; benchcheck ignores it
 # and auto-discovers the newest committed BENCH_PR<N>.json instead.
-BENCH_FILE ?= BENCH_PR9.json
+BENCH_FILE ?= BENCH_PR10.json
 
-.PHONY: verify build test race bench vet chaos trace monitor benchcheck enginediff repl slo
+.PHONY: verify build test race bench vet chaos trace monitor benchcheck enginediff repl slo doctor
 
 # verify is the tier-1 gate: everything must pass before a commit lands.
 # benchcheck is advisory (non-fatal): it flags benchmark drift but a
@@ -25,6 +25,7 @@ verify:
 	$(MAKE) monitor
 	$(MAKE) enginediff
 	$(MAKE) slo
+	$(MAKE) doctor
 	@$(MAKE) benchcheck || echo "warning: benchmark drift (non-fatal); refresh $(BENCH_FILE) with 'make bench' if intended"
 
 # monitor runs the online-monitor suite under the race detector plus the
@@ -50,6 +51,15 @@ enginediff:
 slo:
 	$(GO) test -race ./internal/telemetry
 	$(GO) test -race -run 'TestTelemetryAttached|TestSLO|TestRecord|TestMetricsProm|TestWriteProm' ./internal/experiments ./internal/obs ./cmd/harlctl
+
+# doctor runs the diagnosis suite under the race detector: the sketch
+# layer and anomaly-detector units, the straggler acceptance over seeds
+# 1-3 with its fault-free control, the sketches-on/off differential
+# proof (an attached run executes the exact event sequence of a bare
+# one), and the doctor CLI golden.
+doctor:
+	$(GO) test -race ./internal/diagnose ./internal/obs
+	$(GO) test -race -run 'TestDoctor|TestSketchAttached|TestFigDoctor|TestSketchFeedsFromServePath|TestQueueGaugesQuiesce' ./internal/experiments ./internal/pfs ./cmd/harlctl
 
 # benchcheck compares fresh measurements against the newest committed
 # snapshot (benchguard auto-discovers BENCH_PR<N>.json).

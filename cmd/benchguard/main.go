@@ -80,6 +80,8 @@ func measure(seed int64) (map[string]metric, error) {
 		"slo_alert_seconds":        {Value: st.SLOAlertSeconds, Tolerance: 0.01},
 		"recorder_overhead_ratio":  {Value: st.RecorderOverheadRatio, Tolerance: 1.0, WallClock: true},
 		"recorder_allocs_per_span": {Value: st.RecorderAllocsPerSpan, Tolerance: 1.0, WallClock: true},
+		"doctor_detect_seconds":    {Value: st.DoctorDetectSeconds, Tolerance: 0.01},
+		"sketch_overhead_ratio":    {Value: st.SketchOverheadRatio, Tolerance: 1.0, WallClock: true},
 	}, nil
 }
 

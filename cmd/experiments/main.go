@@ -9,7 +9,7 @@
 //
 // Without -fig, every figure in the registry (1a, 1b, 7-12, the
 // ablations, threetier, baselines, chaos, hedge, breakdown, drift,
-// critpath, scalehuge, slo) runs in registry order. -parallel fans the
+// critpath, scalehuge, slo, doctor) runs in registry order. -parallel fans the
 // selected figures out over N workers (0 = GOMAXPROCS, 1 = serial);
 // each figure is an independent simulated world, so the printed tables
 // are byte-identical at any worker count. -chaos-seed replays an exact

@@ -17,6 +17,7 @@
 //	harlctl whatif   [-seed N] [-quick] [-factor 2] [-drift]
 //	harlctl slo      [-seed N] [-chaos-seed N] [-shape double-crash] [-bundle-dir DIR] [-quick]
 //	harlctl record   [-seed N] [-bundle-dir bundles] [-quick]
+//	harlctl doctor   [-seed N] [-quick] [-control]
 //
 // The global -cpuprofile FILE and -memprofile FILE flags go before the
 // subcommand (harlctl -cpuprofile cpu.out trace ...) and write pprof
@@ -49,6 +50,13 @@
 // pipeline attached (flight recorder, SLO burn-rate engine, incident
 // bundles) and exits 1 if any burn-rate alert fired; record runs the
 // fault-free scenario and freezes one manual bundle of the recent past.
+// doctor runs the straggler-diagnosis scenario — steady probe traffic
+// with the per-server tail-latency sketches and the anomaly detector
+// attached, plus (unless -control) a seeded mid-run service-time
+// slowdown on one HDD server — and prints the ranked root-cause report
+// with the region × server skew heatmap. Exit code 1 when a straggler
+// is confirmed, 0 when the run diagnoses clean, so scripts can gate on
+// it like health.
 // critpath runs the instrumented IOR baseline, extracts the critical
 // path from the trace, and prints the blame table — virtual time on the
 // blocking chain by kind, server, tier, region and phase; -out also
@@ -71,6 +79,7 @@ import (
 
 	"harl/internal/cost"
 	"harl/internal/device"
+	"harl/internal/diagnose"
 	"harl/internal/experiments"
 	"harl/internal/harl"
 	"harl/internal/netsim"
@@ -171,12 +180,14 @@ func dispatch(cmd string, args []string) error {
 		return cmdSLO(args)
 	case "record":
 		return cmdRecord(args)
+	case "doctor":
+		return cmdDoctor(args)
 	}
 	return usage()
 }
 
 func usage() error {
-	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos|trace|metrics|monitor|health|critpath|whatif|slo|record} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: harlctl {summary|divide|optimize|show|chaos|trace|metrics|monitor|health|critpath|whatif|slo|record|doctor} [flags]")
 	return exitCode(2)
 }
 
@@ -597,6 +608,34 @@ func cmdHealth(args []string) error {
 	}
 	fmt.Printf("healthy: %d regions on plan across %d windows\n",
 		len(run.Report.Regions), run.Report.Windows)
+	return nil
+}
+
+// cmdDoctor runs the straggler-diagnosis scenario and prints the ranked
+// root-cause report; exit code 1 when a straggler is confirmed.
+func cmdDoctor(args []string) error {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	quick := fs.Bool("quick", false, "run at reduced scale")
+	parallel := fs.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+	control := fs.Bool("control", false, "fault-free control run (no seeded straggle)")
+	fs.Parse(args)
+
+	run, err := experiments.RunDoctor(traceOptions(*seed, *quick, *parallel), !*control)
+	if err != nil {
+		return err
+	}
+	fmt.Print(run.Report.Render())
+	if n := len(run.Report.Confirmed(diagnose.CauseStraggle)); n > 0 {
+		if run.DetectSeconds >= 0 {
+			fmt.Printf("CONFIRMED: %d straggler(s); detected %.0fms after injection\n",
+				n, run.DetectSeconds*1e3)
+		} else {
+			fmt.Printf("CONFIRMED: %d straggler(s)\n", n)
+		}
+		return exitCode(1)
+	}
+	fmt.Println("clean: no straggler confirmed")
 	return nil
 }
 

@@ -224,3 +224,36 @@ func TestUnknownCommandUsage(t *testing.T) {
 		t.Fatalf("unknown command err = %v, want exit code 2", err)
 	}
 }
+
+// doctor confirms the seeded straggler with exit code 1 and a report
+// byte-identical to the committed golden; the fault-free control exits
+// clean.
+func TestDoctorCommandGoldenAndExitCodes(t *testing.T) {
+	out, err := capture(t, "doctor", "-quick", "-seed", "1")
+	var code exitCode
+	if !errors.As(err, &code) || code != 1 {
+		t.Fatalf("doctor straggler run err = %v, want exit code 1\n%s", err, out)
+	}
+	for _, want := range []string{"[straggle] h1 (hdd)", "skew heatmap", "CONFIRMED: 1 straggler(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("doctor output missing %q:\n%s", want, out)
+		}
+	}
+	golden, gerr := os.ReadFile("testdata/doctor_quick_seed1.txt")
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	if out != string(golden) {
+		t.Errorf("doctor report drifted from testdata/doctor_quick_seed1.txt:\n got:\n%s\nwant:\n%s", out, golden)
+	}
+
+	out, err = capture(t, "doctor", "-quick", "-control")
+	if err != nil {
+		t.Fatalf("doctor control: %v\n%s", err, out)
+	}
+	for _, want := range []string{"no anomalies", "clean: no straggler confirmed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("doctor control output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+
+	"harl/internal/faults"
+	"harl/internal/obs"
+	"harl/internal/sim"
+)
+
+// Cause labels a finding's root cause.
+type Cause string
+
+// Root-cause labels, ordered roughly by how actionable they are.
+const (
+	// CauseStraggle: an injected (or hardware) service-time slowdown on
+	// the server — the faults log shows a straggle bout overlapping the
+	// episode.
+	CauseStraggle Cause = "straggle"
+	// CauseCrashRecovery: the episode overlaps a crash/recover pair —
+	// the latency spike is the recovery (and any replication catch-up),
+	// not a degraded disk.
+	CauseCrashRecovery Cause = "crash-recovery"
+	// CauseFlaky: overlapping transient-error/drop bout; tail latency
+	// comes from retries and timeouts.
+	CauseFlaky Cause = "flaky"
+	// CauseLoadSkew: no fault on the server, but the skew heatmap shows
+	// it carrying a disproportionate byte share — the layout, not the
+	// hardware, is the problem.
+	CauseLoadSkew Cause = "load-skew"
+	// CausePlanDrift: no fault and no skew, but the workload monitor
+	// reports stale regions — the layout plan no longer matches the
+	// workload, and the slow server is collateral.
+	CausePlanDrift Cause = "plan-drift"
+	// CauseUnknown: nothing correlates.
+	CauseUnknown Cause = "unknown"
+)
+
+// Correlates carries the side channels the classifier mines for
+// evidence. Every field is optional; absent channels simply cannot
+// contribute evidence.
+type Correlates struct {
+	// Faults is the fired-event log of the run's fault schedule.
+	Faults *faults.Log
+
+	// CatchUps and Promotions are the replication counters at end of
+	// run — evidence that a crash-recovery episode included log
+	// catch-up/view-change work.
+	CatchUps   int
+	Promotions int
+
+	// StaleRegions lists regions the workload monitor held stale.
+	StaleRegions []int
+
+	// BlameShare maps server name → its share of the critical path
+	// (disk + queue time), from the critpath blame table.
+	BlameShare map[string]float64
+
+	// SkewFactor is the byte-share multiple over the per-server mean at
+	// which the heatmap row counts as load skew; 0 means 2.
+	SkewFactor float64
+}
+
+// Finding is one classified episode.
+type Finding struct {
+	Episode
+	Cause    Cause
+	Evidence []string
+	// Severity ranks findings: peak ratio weighted by episode length.
+	Severity float64
+}
+
+// classify labels one episode against the correlates and heatmap.
+func classify(ep Episode, cor Correlates, heat *obs.Heatmap, window sim.Duration) Finding {
+	f := Finding{Episode: ep, Cause: CauseUnknown}
+	f.Severity = ep.PeakRatio * float64(ep.Windows)
+
+	// The correlation interval: one window before onset (the fault fired
+	// before its effect crossed a boundary) through clearance or, for
+	// active episodes, the end of time.
+	from := sim.Duration(ep.Onset.Add(-window).Sub(sim.Time(0)))
+	if from < 0 {
+		from = 0
+	}
+	to := sim.Duration(1<<62 - 1)
+	if !ep.Active() {
+		to = sim.Duration(ep.Cleared.Sub(sim.Time(0)))
+	}
+
+	var straggle, crash, flaky []faults.Fired
+	if cor.Faults != nil {
+		for _, ev := range cor.Faults.ServerEventsIn(ep.ServerID, from, to) {
+			switch ev.Kind {
+			case faults.Straggle, faults.Unstraggle:
+				straggle = append(straggle, ev)
+			case faults.Crash, faults.Recover:
+				crash = append(crash, ev)
+			case faults.Flaky, faults.Clear:
+				flaky = append(flaky, ev)
+			}
+		}
+	}
+	evFault := func(evs []faults.Fired) {
+		for _, ev := range evs {
+			f.Evidence = append(f.Evidence, "fault log: "+ev.String())
+		}
+	}
+	switch {
+	case len(straggle) > 0:
+		f.Cause = CauseStraggle
+		evFault(straggle)
+	case len(crash) > 0:
+		f.Cause = CauseCrashRecovery
+		evFault(crash)
+		if cor.CatchUps > 0 || cor.Promotions > 0 {
+			f.Evidence = append(f.Evidence, fmt.Sprintf(
+				"repl: %d promotion(s), %d catch-up session(s) this run", cor.Promotions, cor.CatchUps))
+		}
+	case len(flaky) > 0:
+		f.Cause = CauseFlaky
+		evFault(flaky)
+	default:
+		if ok, detail := skewEvidence(ep.ServerID, heat, cor.SkewFactor); ok {
+			f.Cause = CauseLoadSkew
+			f.Evidence = append(f.Evidence, detail)
+		} else if len(cor.StaleRegions) > 0 {
+			f.Cause = CausePlanDrift
+			f.Evidence = append(f.Evidence, fmt.Sprintf("monitor: stale regions %v", cor.StaleRegions))
+		}
+	}
+	if share, ok := cor.BlameShare[ep.Server]; ok && share > 0 {
+		f.Evidence = append(f.Evidence, fmt.Sprintf(
+			"critpath: %s carries %.0f%% of critical-path device time", ep.Server, share*100))
+	}
+	return f
+}
+
+// skewEvidence checks whether the heatmap row for server id carries a
+// disproportionate byte share.
+func skewEvidence(id int, heat *obs.Heatmap, factor float64) (bool, string) {
+	if heat == nil || len(heat.Cells) == 0 {
+		return false, ""
+	}
+	if factor <= 0 {
+		factor = 2
+	}
+	total := heat.TotalBytes()
+	if total == 0 {
+		return false, ""
+	}
+	mean := float64(total) / float64(len(heat.Cells))
+	mine := float64(heat.ServerBytes(id))
+	if mine < factor*mean {
+		return false, ""
+	}
+	// Name the hottest region on the row for the report.
+	hot, hotBytes := -1, int64(0)
+	for r, c := range heat.Cells[id] {
+		if c.Bytes > hotBytes {
+			hot, hotBytes = r, c.Bytes
+		}
+	}
+	return true, fmt.Sprintf(
+		"heatmap: %s carries %.0f%% of all bytes (%.1f× per-server mean), hottest region r%d with %d B",
+		heat.Servers[id].Name, 100*mine/float64(total), mine/mean, hot, hotBytes)
+}
+
+// rank orders findings most-severe first, deterministically.
+func rank(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity
+		}
+		return fs[i].Onset < fs[j].Onset
+	})
+}

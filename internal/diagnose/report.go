@@ -1,0 +1,101 @@
+package diagnose
+
+import (
+	"fmt"
+	"strings"
+
+	"harl/internal/obs"
+	"harl/internal/sim"
+)
+
+// Report is the diagnosis: ranked findings plus the skew heatmap.
+type Report struct {
+	Window   sim.Duration
+	Windows  int
+	Findings []Finding
+	Heatmap  *obs.Heatmap
+	Net      []obs.NetStat
+}
+
+// Diagnose finishes the detector, classifies every episode against the
+// correlates, and returns the ranked report.
+func (d *Detector) Diagnose(cor Correlates) *Report {
+	d.Finish()
+	heat := d.ss.Heatmap()
+	r := &Report{
+		Window:  d.Window(),
+		Windows: d.Windows(),
+		Heatmap: heat,
+		Net:     d.ss.NetStats(),
+	}
+	for _, ep := range d.Episodes() {
+		r.Findings = append(r.Findings, classify(ep, cor, heat, d.Window()))
+	}
+	rank(r.Findings)
+	return r
+}
+
+// Clean reports a run with no findings.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// Confirmed returns the findings with the given cause.
+func (r *Report) Confirmed(cause Cause) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Cause == cause {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Render writes the ranked diagnosis as text — the body of `harlctl
+// doctor` and of the telemetry bundle's doctor.txt.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "doctor: %d finding(s) over %d windows of %v\n", len(r.Findings), r.Windows, r.Window)
+	if r.Clean() {
+		b.WriteString("no anomalies: every server tracked its tier peers\n")
+	}
+	for i, f := range r.Findings {
+		fmt.Fprintf(&b, "%d. [%s] %s\n", i+1, f.Cause, f.describe())
+		for _, ev := range f.Evidence {
+			fmt.Fprintf(&b, "   evidence: %s\n", ev)
+		}
+	}
+	if r.Heatmap != nil {
+		b.WriteString("\nskew heatmap (bytes, server x region):\n")
+		b.WriteString(renderHeatmap(r.Heatmap))
+	}
+	return b.String()
+}
+
+// renderHeatmap draws the region × server byte matrix: one row per
+// server, one column per region, each cell the percentage of all bytes.
+func renderHeatmap(h *obs.Heatmap) string {
+	var b strings.Builder
+	total := h.TotalBytes()
+	if total == 0 {
+		return "  (no attributed traffic)\n"
+	}
+	b.WriteString("        ")
+	for r := 0; r < h.Regions; r++ {
+		fmt.Fprintf(&b, "%8s", fmt.Sprintf("r%d", r))
+	}
+	b.WriteString("     row\n")
+	for i, info := range h.Servers {
+		fmt.Fprintf(&b, "  %-6s", info.Name)
+		var row int64
+		for r := 0; r < h.Regions; r++ {
+			c := h.Cells[i][r]
+			row += c.Bytes
+			if c.Bytes == 0 {
+				b.WriteString("       .")
+			} else {
+				fmt.Fprintf(&b, "%7.1f%%", 100*float64(c.Bytes)/float64(total))
+			}
+		}
+		fmt.Fprintf(&b, "%7.1f%%\n", 100*float64(row)/float64(total))
+	}
+	return b.String()
+}

@@ -60,6 +60,15 @@ type BenchStats struct {
 	// RecorderAllocsPerSpan is the marginal heap allocations per
 	// captured span the attached pipeline adds over the bare run.
 	RecorderAllocsPerSpan float64
+	// DoctorDetectSeconds is the virtual latency from the seeded
+	// straggle injection to the doctor's confirmed diagnosis —
+	// deterministic, so it pins both the probe workload and the
+	// detector's hysteresis.
+	DoctorDetectSeconds float64
+	// SketchOverheadRatio is the wall-clock ratio of the IOR replay with
+	// the sketch layer attached over the bare replay — the price of the
+	// always-on tail-latency sketches (machine-dependent).
+	SketchOverheadRatio float64
 }
 
 // BenchSnapshot measures the tracked benchmark numbers at the given
@@ -194,5 +203,28 @@ func BenchSnapshot(o Options) (BenchStats, error) {
 			st.RecorderAllocsPerSpan = extra / float64(captured)
 		}
 	}
+
+	// Sketch overhead: the same IOR replay with the tail-latency sketch
+	// layer attached, against the bare wall-clock measured above.
+	sko := o
+	sko.Attach = func(tb *cluster.Testbed) {
+		tb.FS.AttachSketches(obs.NewSketchSet(tb.Engine, obs.SketchConfig{}))
+	}
+	t0 = time.Now()
+	if _, err := traceIOR(sko, false); err != nil {
+		return st, err
+	}
+	if bareWall > 0 {
+		st.SketchOverheadRatio = time.Since(t0).Seconds() / bareWall
+	}
+
+	// Doctor: virtual latency from straggle injection to confirmed
+	// diagnosis in the straggler acceptance scenario.
+	doc, err := RunDoctor(o, true)
+	if err != nil {
+		return st, err
+	}
+	st.DoctorDetectSeconds = doc.DetectSeconds
+
 	return st, nil
 }

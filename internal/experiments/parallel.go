@@ -90,6 +90,7 @@ func Figures() []Figure {
 		{"critpath", FigCritPath},
 		{"scalehuge", FigScaleHuge},
 		{"slo", FigSLO},
+		{"doctor", FigDoctor},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"harl/internal/cluster"
+	"harl/internal/diagnose"
 	"harl/internal/obs"
 	"harl/internal/sim"
 	"harl/internal/telemetry"
@@ -101,6 +102,7 @@ func RunSLO(o Options, shape ReplShape, bundleRoot string) (*SLORun, error) {
 			return sb.String()
 		}
 		tel.SetSnapshot(snapshot)
+		attachDoctor(tel, tb)
 	}
 
 	res, err := runReplIOR(run, o.clientPolicy(), 2, shape, true)
@@ -123,6 +125,22 @@ func RunSLO(o Options, shape ReplShape, bundleRoot string) (*SLORun, error) {
 		Recorder: tel.Recorder().Stats(),
 		Snapshot: snapshot(),
 	}, nil
+}
+
+// attachDoctor binds the sketch layer and anomaly detector to the
+// testbed and installs a diagnosis renderer on the telemetry pipeline,
+// so every incident bundle carries a doctor.txt diagnosing the run up
+// to the capture instant. Both sides stay passive observers.
+func attachDoctor(tel *telemetry.T, tb *cluster.Testbed) {
+	ss := obs.NewSketchSet(tb.Engine, obs.SketchConfig{})
+	det := diagnose.NewDetector(ss, diagnose.Config{})
+	tb.FS.AttachSketches(ss)
+	tel.SetDoctor(func(sim.Time) string {
+		return det.Diagnose(diagnose.Correlates{
+			CatchUps:   int(tb.FS.Repl.CatchUps),
+			Promotions: int(tb.FS.Repl.Promotions),
+		}).Render()
+	})
 }
 
 // RunRecord executes the fault-free replicated scenario with the
@@ -158,6 +176,7 @@ func RunRecord(o Options, bundleRoot string) (*SLORun, *telemetry.Bundle, error)
 			return sb.String()
 		}
 		tel.SetSnapshot(snapshot)
+		attachDoctor(tel, tb)
 		end = tb.Engine.Now
 	}
 	res, err := runReplIOR(ro, o.clientPolicy(), 2, ReplShapeCrash, false)

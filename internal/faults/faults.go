@@ -84,10 +84,60 @@ type Schedule []Event
 // differential determinism test compares them with String.
 type Log struct {
 	Entries []string
+	fired   []Fired
+}
+
+// Fired is one structured fired-event record: the event plus the firing
+// sequence number, which breaks ties between events injected at the same
+// virtual instant so sorted views are total orders.
+type Fired struct {
+	Event
+	Seq int
 }
 
 // String joins the entries one per line.
 func (l *Log) String() string { return strings.Join(l.Entries, "\n") }
+
+// FiredEvents returns every fired event sorted by (At, Seq) — a stable
+// total order identical across replays of the same schedule. The slice
+// is a copy; callers may keep it.
+func (l *Log) FiredEvents() []Fired {
+	if l == nil {
+		return nil
+	}
+	out := append([]Fired(nil), l.fired...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// EventsIn returns the fired events with At in [from, to], in the same
+// stable order as FiredEvents — the window-correlation lookup diagnose
+// uses, so callers never re-sort ad hoc.
+func (l *Log) EventsIn(from, to sim.Duration) []Fired {
+	var out []Fired
+	for _, f := range l.FiredEvents() {
+		if f.At >= from && f.At <= to {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ServerEventsIn restricts EventsIn to one server.
+func (l *Log) ServerEventsIn(server int, from, to sim.Duration) []Fired {
+	var out []Fired
+	for _, f := range l.EventsIn(from, to) {
+		if f.Server == server {
+			out = append(out, f)
+		}
+	}
+	return out
+}
 
 // Apply installs the schedule on the engine against the file system and
 // returns the log that will fill in as events fire. Call before Run.
@@ -111,6 +161,7 @@ func (s Schedule) Apply(e *sim.Engine, fs *pfs.FS) *Log {
 				fs.Straggle(ev.Server, 1)
 			}
 			log.Entries = append(log.Entries, ev.String())
+			log.fired = append(log.fired, Fired{Event: ev, Seq: len(log.fired)})
 		})
 	}
 	return log

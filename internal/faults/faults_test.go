@@ -292,3 +292,75 @@ func TestReplChaosShapesNeedGroups(t *testing.T) {
 		}()
 	}
 }
+
+func TestFiredEventsStableSortAndLookup(t *testing.T) {
+	e, fs := testbed(t)
+	// Two events at the same instant plus an out-of-order injection time:
+	// the stable sort must order by (At, firing sequence).
+	s := Schedule{
+		{At: 20 * sim.Millisecond, Kind: Straggle, Server: 3, Factor: 4},
+		{At: 10 * sim.Millisecond, Kind: Crash, Server: 2},
+		{At: 20 * sim.Millisecond, Kind: Flaky, Server: 5, ErrP: 0.1, DropP: 0.1},
+		{At: 30 * sim.Millisecond, Kind: Recover, Server: 2},
+		{At: 40 * sim.Millisecond, Kind: Clear, Server: 5},
+		{At: 50 * sim.Millisecond, Kind: Unstraggle, Server: 3},
+	}
+	log := s.Apply(e, fs)
+	e.Run()
+
+	fired := log.FiredEvents()
+	if len(fired) != len(s) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(s))
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if a.At > b.At || (a.At == b.At && a.Seq >= b.Seq) {
+			t.Fatalf("order violated at %d: %+v then %+v", i, a, b)
+		}
+	}
+	// The two 20ms events fired in schedule order (engine FIFO at one
+	// instant), so Straggle precedes Flaky.
+	if fired[1].Kind != Straggle || fired[2].Kind != Flaky {
+		t.Fatalf("tie-break broken: %v then %v", fired[1].Kind, fired[2].Kind)
+	}
+
+	in := log.EventsIn(20*sim.Millisecond, 30*sim.Millisecond)
+	if len(in) != 3 || in[0].Kind != Straggle || in[2].Kind != Recover {
+		t.Fatalf("EventsIn[20,30] = %+v", in)
+	}
+	only := log.ServerEventsIn(3, 0, 60*sim.Millisecond)
+	if len(only) != 2 || only[0].Kind != Straggle || only[1].Kind != Unstraggle ||
+		only[0].Factor != 4 {
+		t.Fatalf("ServerEventsIn(3) = %+v", only)
+	}
+	if got := log.ServerEventsIn(7, 0, 60*sim.Millisecond); got != nil {
+		t.Fatalf("events for untouched server: %+v", got)
+	}
+	// Mutating the returned copy must not corrupt the log.
+	fired[0].Server = 99
+	if log.FiredEvents()[0].Server == 99 {
+		t.Fatal("FiredEvents returned live storage")
+	}
+}
+
+func TestFiredEventsReplayDeterministic(t *testing.T) {
+	run := func() []Fired {
+		e, fs := testbed(t)
+		log := Chaos(99, Config{Servers: 8}).Apply(e, fs)
+		e.Run()
+		return log.FiredEvents()
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("fired lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	var nilLog *Log
+	if nilLog.FiredEvents() != nil {
+		t.Fatal("nil log returned events")
+	}
+}

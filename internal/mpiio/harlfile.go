@@ -253,11 +253,14 @@ func opStatus(err error) string {
 
 // tagRegionHandles stamps every rank's handle with its region index, so
 // the pfs.read/pfs.write spans the handles open carry a "region" tag —
-// the hook the critical-path analyzer's per-region blame rides on.
+// the hook the critical-path analyzer's per-region blame rides on — and
+// the handles attribute their traffic to the region in the sketch
+// layer's skew heatmap.
 func (f *HARLFile) tagRegionHandles() {
 	for i, hs := range f.handles {
 		for _, h := range hs {
 			h.SetSpanTags(obs.TInt("region", int64(i)))
+			h.SetRegion(i)
 		}
 	}
 }

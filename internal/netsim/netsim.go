@@ -45,6 +45,9 @@ type Network struct {
 	cfg    Config
 	nodes  map[string]*Node
 	tracer *obs.Tracer
+	// sketches receives per-node transfer latency/size digests; nil
+	// until AttachSketches, nil-safe like the tracer.
+	sketches *obs.SketchSet
 
 	// Transfers and BytesMoved account all traffic for reports.
 	Transfers  uint64
@@ -80,6 +83,11 @@ func (n *Network) Config() Config { return n.cfg }
 // schedules events — so instrumented and uninstrumented runs execute
 // identically.
 func (n *Network) Instrument(tr *obs.Tracer) { n.tracer = tr }
+
+// AttachSketches routes transfer completions into the streaming sketch
+// layer, keyed by destination node. Passive like the tracer; nil
+// detaches.
+func (n *Network) AttachSketches(ss *obs.SketchSet) { n.sketches = ss }
 
 // ScaleBandwidth multiplies every link's per-direction bandwidth — the
 // causal profiler's "what if the interconnect were k× faster" knob.

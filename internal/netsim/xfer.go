@@ -65,6 +65,8 @@ func xferDone(arg any, _, end sim.Time) {
 				obs.TInt("tx_wait_ns", int64(x.txStart.Sub(x.submit))))
 		}
 	}
+	// Feed the sketch layer before recycling clears the record.
+	n.sketches.ObserveNet(x.to.name, end.Sub(x.submit), x.size)
 	n.recycleXfer(x)
 	n.finish(done)
 }

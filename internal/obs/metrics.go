@@ -98,6 +98,34 @@ func (h *Histogram) Snapshot() *stats.Histogram {
 	return h.h
 }
 
+// Merge folds another histogram instrument's buckets into h. Both must
+// share bucket geometry (stats.Histogram.Merge panics otherwise). Either
+// side may be nil/disabled: merging from nil is a no-op, merging into
+// nil drops the samples — exactly the disabled-instrument contract.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	h.h.Merge(other.h)
+}
+
+// Bins returns the bucket count (0 for a nil instrument).
+func (h *Histogram) Bins() int {
+	if h == nil {
+		return 0
+	}
+	return h.h.Bins()
+}
+
+// BinBounds returns bucket i's half-open range [lo, hi); (0, 0) for a
+// nil instrument.
+func (h *Histogram) BinBounds(i int) (lo, hi float64) {
+	if h == nil {
+		return 0, 0
+	}
+	return h.h.BinBounds(i)
+}
+
 // metricKind tags a registry entry's instrument type.
 type metricKind int
 

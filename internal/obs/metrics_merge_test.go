@@ -1,0 +1,50 @@
+package obs
+
+import "testing"
+
+// TestHistogramInstrumentMerge covers the registry-level wrapper: merged
+// instruments answer quantiles as one that saw both streams, and nil
+// (disabled) instruments follow the disabled-instrument contract.
+func TestHistogramInstrumentMerge(t *testing.T) {
+	r := NewRegistry()
+	read := r.Histogram("op_seconds", 0, 1, 10, T("op", "read"))
+	write := r.Histogram("op_seconds", 0, 1, 10, T("op", "write"))
+	for i := 0; i < 40; i++ {
+		read.Observe(0.05) // bin 0
+		write.Observe(0.95)
+	}
+
+	all := r.Histogram("op_seconds", 0, 1, 10, T("op", "all"))
+	all.Merge(read)
+	all.Merge(write)
+	if got := all.Snapshot().Total(); got != 80 {
+		t.Fatalf("merged total %d, want 80", got)
+	}
+	if q, ok := all.Snapshot().Quantile(0.25); !ok || q > 0.1 {
+		t.Fatalf("merged p25 %v ok=%v", q, ok)
+	}
+	if q, ok := all.Snapshot().Quantile(0.75); !ok || q < 0.9 {
+		t.Fatalf("merged p75 %v ok=%v", q, ok)
+	}
+	if all.Bins() != 10 {
+		t.Fatalf("bins %d", all.Bins())
+	}
+	if lo, hi := all.BinBounds(9); lo != 0.9 || hi != 1.0 {
+		t.Fatalf("bin 9 [%v,%v)", lo, hi)
+	}
+
+	// Disabled instruments: merging from nil is a no-op, merging into nil
+	// drops samples, accessors return zero values.
+	var disabled *Histogram
+	all.Merge(disabled)
+	if got := all.Snapshot().Total(); got != 80 {
+		t.Fatalf("nil merge changed total to %d", got)
+	}
+	disabled.Merge(all)
+	if disabled.Bins() != 0 {
+		t.Fatal("nil histogram has bins")
+	}
+	if lo, hi := disabled.BinBounds(3); lo != 0 || hi != 0 {
+		t.Fatalf("nil BinBounds [%v,%v)", lo, hi)
+	}
+}

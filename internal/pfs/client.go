@@ -38,12 +38,24 @@ type File struct {
 	// opens (SetSpanTags); mpiio stamps region handles with their RST
 	// region so trace analysis can attribute time by region.
 	spanTags []obs.Tag
+
+	// region is the layout region this handle serves (SetRegion), fed to
+	// the sketch layer's skew heatmap; -1 means unattributed.
+	region int
 }
 
 // SetSpanTags attaches extra tags to every client-operation span this
 // handle opens. The tags ride only on the trace — untraced runs are
 // untouched, so instrumentation stays differentially invisible.
 func (f *File) SetSpanTags(tags ...obs.Tag) { f.spanTags = tags }
+
+// SetRegion attributes this handle's traffic to a layout region for the
+// sketch layer's region × server heatmap. Like SetSpanTags, purely
+// observational; handles without a region stay at -1 and are skipped.
+func (f *File) SetRegion(i int) { f.region = i }
+
+// Region returns the attributed region (-1 when unattributed).
+func (f *File) Region() int { return f.region }
 
 // Meta returns a copy of the cached metadata.
 func (f *File) Meta() FileMeta { return *f.meta }
@@ -104,7 +116,7 @@ func (c *Client) Create(name string, lo layout.Mapper, done func(*File, error)) 
 			done(nil, err)
 			return
 		}
-		done(&File{client: c, meta: meta}, nil)
+		done(&File{client: c, meta: meta, region: -1}, nil)
 	})
 }
 
@@ -131,7 +143,7 @@ func (c *Client) Open(name string, done func(*File, error)) {
 			}
 		}
 		c.endMDS(span, nil)
-		done(&File{client: c, meta: meta}, nil)
+		done(&File{client: c, meta: meta, region: -1}, nil)
 	})
 }
 

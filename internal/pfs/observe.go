@@ -48,6 +48,30 @@ func (fs *FS) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	}
 }
 
+// AttachSketches wires the streaming sketch layer: every server is
+// registered with the set (index order, so sketch indices match server
+// IDs densely), and the network forwards transfer completions to the
+// same set. Like Instrument, the sketches are passive — the serve path
+// feeds them with values it already computes and never branches on
+// their presence beyond a nil check. Attach before traffic; nil
+// detaches.
+func (fs *FS) AttachSketches(ss *obs.SketchSet) {
+	fs.sketches = ss
+	fs.net.AttachSketches(ss)
+	if ss == nil {
+		for _, s := range fs.servers {
+			s.sketchID = -1
+		}
+		return
+	}
+	for _, s := range fs.servers {
+		s.sketchID = ss.AddServer(s.Name, tierName(s.Role()))
+	}
+}
+
+// Sketches returns the attached sketch set (nil when unattached).
+func (fs *FS) Sketches() *obs.SketchSet { return fs.sketches }
+
 // Tracer returns the attached tracer (nil when uninstrumented).
 func (fs *FS) Tracer() *obs.Tracer { return fs.tracer }
 
@@ -70,6 +94,7 @@ func (fs *FS) SyncMetrics() {
 		reg.Gauge("pfs_stored_bytes", labels...).Set(float64(s.stored))
 		reg.Gauge("pfs_capacity_utilization", labels...).Set(s.Utilization())
 		reg.Gauge("pfs_disk_queue_max", labels...).Set(float64(s.maxQueued))
+		reg.Gauge("pfs_disk_queue_depth", labels...).Set(float64(s.queued))
 		reg.Gauge("pfs_server_slow_factor", labels...).Set(s.SlowFactor)
 		reg.Gauge("pfs_server_health", labels...).Set(float64(fs.health[s.ID]))
 	}
@@ -125,11 +150,20 @@ func (fs *FS) SyncMetrics() {
 	fs.net.SyncMetrics(reg)
 }
 
-// enqueue tracks disk queue depth at submission.
+// enqueue tracks disk queue depth at submission. With sketches attached
+// the depth is also sampled into the time series and emitted as a
+// Perfetto counter on the server's track; both paths are gated on the
+// sketch set so legacy traces stay byte-identical.
 func (s *Server) enqueue() {
 	s.queued++
 	if s.queued > s.maxQueued {
 		s.maxQueued = s.queued
+	}
+	if ss := s.fs.sketches; ss != nil {
+		ss.ObserveQueue(s.sketchID, s.queued)
+		if tr := s.fs.tracer; tr != nil {
+			tr.Counter(s.Name, "queue", s.fs.engine.Now(), float64(s.queued))
+		}
 	}
 }
 
@@ -142,6 +176,13 @@ func (s *Server) observeDisk(op device.Op, parent obs.SpanID, submit, start, end
 	s.mOps.Inc()
 	s.mServiceNs.Add(int64(end.Sub(start)))
 	s.mWaitNs.Add(int64(start.Sub(submit)))
+	if ss := s.fs.sketches; ss != nil {
+		ss.ObserveDisk(s.sketchID, op == device.Write, start.Sub(submit), end.Sub(start), size)
+		ss.ObserveQueue(s.sketchID, s.queued)
+		if tr := s.fs.tracer; tr != nil {
+			tr.Counter(s.Name, "queue", s.fs.engine.Now(), float64(s.queued))
+		}
+	}
 	if s.fs.tierObs != nil {
 		s.fs.tierObs.ObserveTier(s.Role(), op, size)
 	}

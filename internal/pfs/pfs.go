@@ -83,6 +83,7 @@ type Server struct {
 	mWaitNs    *obs.Counter
 	queued     int
 	maxQueued  int
+	sketchID   int // index into fs.sketches; -1 until AttachSketches
 }
 
 // Role returns whether this is an HServer or SServer.
@@ -149,6 +150,10 @@ type FS struct {
 	tracer  *obs.Tracer
 	metrics *obs.Registry
 	tierObs TierObserver
+	// sketches is the streaming sketch layer (AttachSketches); nil until
+	// attached, and every feed below is nil-safe — sketches are as
+	// optional as the tracer.
+	sketches *obs.SketchSet
 
 	servers []*Server
 	files   map[string]*FileMeta
@@ -206,6 +211,7 @@ func New(e *sim.Engine, net *netsim.Network, profiles []device.Profile) (*FS, er
 			fs:         fs,
 			SlowFactor: 1,
 			objects:    make(map[uint64]*device.Store),
+			sketchID:   -1,
 		})
 	}
 	fs.health = make([]Health, len(fs.servers))

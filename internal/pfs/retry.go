@@ -98,6 +98,7 @@ func (o *subOp) run() {
 	p := c.Policy
 	fs := c.fs
 	server := fs.servers[o.sub.Server]
+	attemptStart := fs.engine.Now()
 
 	tr := fs.tracer
 	var span obs.SpanID
@@ -118,6 +119,12 @@ func (o *subOp) run() {
 		}
 		if tr != nil {
 			tr.End(span, obs.T("outcome", attemptOutcome(hedge, err)))
+		}
+		if err == nil {
+			// Successful sub-request: attribute client-observed latency and
+			// bytes to the handle's layout region for the skew heatmap.
+			fs.sketches.ObserveRegion(o.f.region, o.sub.Server,
+				o.sub.Size, fs.engine.Now().Sub(attemptStart))
 		}
 		o.outcome(server, data, err)
 	}

@@ -61,6 +61,40 @@ func (h *Histogram) Add(x float64) {
 // Total returns the number of samples recorded.
 func (h *Histogram) Total() int64 { return h.total }
 
+// Bins returns the bucket count.
+func (h *Histogram) Bins() int { return len(h.Counts) }
+
+// BinBounds returns bucket i's half-open range [lo, hi). Out-of-range i
+// panics — bucket geometry is fixed at construction.
+func (h *Histogram) BinBounds(i int) (lo, hi float64) {
+	if i < 0 || i >= len(h.Counts) {
+		panic(fmt.Sprintf("stats: bin %d out of range [0,%d)", i, len(h.Counts)))
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*width, h.Lo + float64(i+1)*width
+}
+
+// Merge folds other's buckets into h by bucket-wise addition. Both
+// histograms must share the same geometry ([Lo, Hi) and bucket count) —
+// merging mismatched bins silently redistributes samples, which is
+// always a bug, so it panics instead. Merging preserves quantiles up to
+// bucket resolution: a merged histogram answers Quantile exactly as one
+// that saw both streams.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if h.Lo != other.Lo || h.Hi != other.Hi || len(h.Counts) != len(other.Counts) {
+		panic(fmt.Sprintf("stats: merging histograms [%v,%v)x%d and [%v,%v)x%d",
+			h.Lo, h.Hi, len(h.Counts), other.Lo, other.Hi, len(other.Counts)))
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.NaNs += other.NaNs
+	h.total += other.total
+}
+
 // Quantile estimates the q-th quantile (0 <= q <= 1) from the binned
 // counts, interpolating linearly within the covering bin. The second
 // return is false — and the estimate 0 — on an empty histogram: the

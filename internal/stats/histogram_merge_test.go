@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramMergePreservesQuantiles is the merge law the sketch layer
+// leans on: splitting one stream across shards and merging the shard
+// histograms must answer every quantile exactly as the histogram that
+// saw the whole stream, not merely within bucket resolution — bucket-wise
+// addition is exact.
+func TestHistogramMergePreservesQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		lo, hi, bins := 0.0, 1.0+9.0*rng.Float64(), 1+rng.Intn(64)
+		whole := NewHistogram(lo, hi, bins)
+		shards := make([]*Histogram, 1+rng.Intn(4))
+		for i := range shards {
+			shards[i] = NewHistogram(lo, hi, bins)
+		}
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Include out-of-range samples so edge-bin clamping merges too.
+			x := (hi - lo) * (rng.Float64()*1.2 - 0.1)
+			whole.Add(x)
+			shards[rng.Intn(len(shards))].Add(x)
+		}
+		merged := NewHistogram(lo, hi, bins)
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		if merged.Total() != whole.Total() {
+			t.Fatalf("trial %d: merged total %d, whole %d", trial, merged.Total(), whole.Total())
+		}
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			got, gok := merged.Quantile(q)
+			want, wok := whole.Quantile(q)
+			if gok != wok || math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d: q=%.2f merged %v whole %v", trial, q, got, want)
+			}
+		}
+		for i := 0; i < bins; i++ {
+			if merged.Counts[i] != whole.Counts[i] {
+				t.Fatalf("trial %d: bin %d merged %d whole %d", trial, i, merged.Counts[i], whole.Counts[i])
+			}
+		}
+	}
+}
+
+func TestHistogramMergeNaNAndNil(t *testing.T) {
+	a := NewHistogram(0, 1, 4)
+	b := NewHistogram(0, 1, 4)
+	a.Add(0.1)
+	a.Add(math.NaN())
+	b.Add(0.9)
+	b.Add(math.NaN())
+	b.Add(math.NaN())
+	a.Merge(b)
+	if a.Total() != 2 || a.NaNs != 3 {
+		t.Fatalf("total %d nans %d, want 2/3", a.Total(), a.NaNs)
+	}
+	a.Merge(nil) // no-op
+	if a.Total() != 2 {
+		t.Fatalf("nil merge changed total to %d", a.Total())
+	}
+}
+
+func TestHistogramMergeGeometryMismatchPanics(t *testing.T) {
+	cases := []*Histogram{
+		NewHistogram(0, 2, 4), // Hi differs
+		NewHistogram(0, 1, 8), // bins differ
+		NewHistogram(1, 2, 4), // Lo differs
+	}
+	for i, other := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: merge of mismatched geometry did not panic", i)
+				}
+			}()
+			NewHistogram(0, 1, 4).Merge(other)
+		}()
+	}
+}
+
+func TestHistogramBinBounds(t *testing.T) {
+	h := NewHistogram(2, 10, 4)
+	if n := h.Bins(); n != 4 {
+		t.Fatalf("bins %d", n)
+	}
+	lo, hi := h.BinBounds(0)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("bin 0 [%v,%v)", lo, hi)
+	}
+	lo, hi = h.BinBounds(3)
+	if lo != 8 || hi != 10 {
+		t.Fatalf("bin 3 [%v,%v)", lo, hi)
+	}
+	for _, bad := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("BinBounds(%d) did not panic", bad)
+				}
+			}()
+			h.BinBounds(bad)
+		}()
+	}
+}

@@ -38,6 +38,9 @@ type Bundle struct {
 	// Blame is the window's critical-path table; nil when the window
 	// holds no closed interval spans to analyze.
 	Blame *critpath.BlameTable
+	// Doctor is the diagnose report rendered at capture time; empty
+	// when no doctor is attached (see T.SetDoctor).
+	Doctor string
 	// Stats is the recorder occupancy at capture time.
 	Stats RecorderStats
 }
@@ -91,7 +94,8 @@ func (b *Bundle) Summary() string {
 
 // WriteDir materializes the bundle under root and returns its directory:
 // alert.txt (summary), trace.json (Chrome trace of the window),
-// metrics.txt (Prometheus snapshot), blame.txt (window blame table).
+// metrics.txt (Prometheus snapshot), blame.txt (window blame table),
+// doctor.txt (ranked root-cause diagnosis, when a doctor is attached).
 func (b *Bundle) WriteDir(root string) (string, error) {
 	dir := filepath.Join(root, b.Dir())
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -119,6 +123,13 @@ func (b *Bundle) WriteDir(root string) (string, error) {
 		blame = bb.String()
 	}
 	if err := os.WriteFile(filepath.Join(dir, "blame.txt"), []byte(blame), 0o644); err != nil {
+		return "", err
+	}
+	doctor := b.Doctor
+	if doctor == "" {
+		doctor = "no diagnosis attached\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, "doctor.txt"), []byte(doctor), 0o644); err != nil {
 		return "", err
 	}
 	return dir, nil

@@ -43,6 +43,7 @@ type T struct {
 	rec      *Recorder
 	slo      *Engine
 	snapshot func() string
+	doctor   func(at sim.Time) string
 	bundles  []*Bundle
 	writeErr error
 }
@@ -63,6 +64,12 @@ func New(cfg Config) (*T, error) {
 // typically a closure that syncs the FS metrics and renders the registry
 // in Prometheus text format. The snapshotter must itself be passive.
 func (t *T) SetSnapshot(fn func() string) { t.snapshot = fn }
+
+// SetDoctor installs the diagnosis renderer invoked at capture time —
+// typically a closure that flushes the diagnose detector and renders
+// its ranked report, landing in the bundle's doctor.txt beside the
+// blame table. Must itself be passive.
+func (t *T) SetDoctor(fn func(at sim.Time) string) { t.doctor = fn }
 
 // Recorder exposes the flight recorder.
 func (t *T) Recorder() *Recorder { return t.rec }
@@ -105,6 +112,9 @@ func (t *T) capture(reason string, alert *Alert, at sim.Time) *Bundle {
 		metrics = t.snapshot()
 	}
 	b := newBundle(reason, alert, t.cfg.Seed, at, t.rec, metrics)
+	if t.doctor != nil {
+		b.Doctor = t.doctor(at)
+	}
 	t.bundles = append(t.bundles, b)
 	if t.cfg.BundleRoot != "" {
 		if _, err := b.WriteDir(t.cfg.BundleRoot); err != nil && t.writeErr == nil {

@@ -303,3 +303,48 @@ func TestBundleWriteDeterministic(t *testing.T) {
 		t.Fatal("bundle bytes differ across identical runs")
 	}
 }
+
+// Bundles carry the doctor's diagnosis when one is attached via
+// SetDoctor, and an explicit placeholder when not.
+func TestBundleDoctorArtifact(t *testing.T) {
+	dir := t.TempDir()
+	tel, err := New(Config{Seed: 3, RingSpans: 16, BundleRoot: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bare := tel.CaptureNow("manual", sim.Time(sim.Millisecond))
+	if bare.Doctor != "" {
+		t.Fatalf("undoctored bundle carries a diagnosis: %q", bare.Doctor)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, bare.Dir(), "doctor.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "no diagnosis attached\n" {
+		t.Fatalf("placeholder doctor.txt = %q", data)
+	}
+
+	var askedAt sim.Time
+	tel.SetDoctor(func(at sim.Time) string {
+		askedAt = at
+		return "doctor: 1 finding(s)\n"
+	})
+	b := tel.CaptureNow("manual", sim.Time(2*sim.Millisecond))
+	if askedAt != sim.Time(2*sim.Millisecond) {
+		t.Fatalf("doctor asked at %v, want capture instant", askedAt)
+	}
+	if b.Doctor != "doctor: 1 finding(s)\n" {
+		t.Fatalf("bundle doctor = %q", b.Doctor)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, b.Dir(), "doctor.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != b.Doctor {
+		t.Fatalf("doctor.txt = %q, want %q", data, b.Doctor)
+	}
+	if tel.Err() != nil {
+		t.Fatal(tel.Err())
+	}
+}
